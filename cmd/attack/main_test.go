@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunExt2Attack(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-attack", "ext2", "-server", "ssh", "-conns", "5",
+		"-dirs", "300", "-mem-mb", "16", "-seed", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "ext2 leak") || !strings.Contains(text, "attack success: true") {
+		t.Fatalf("output: %s", text)
+	}
+}
+
+func TestRunTTYAttackProtected(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-attack", "tty", "-server", "apache", "-level", "integrated",
+		"-conns", "4", "-trials", "8", "-mem-mb", "16", "-seed", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "success rate:") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-level", "bogus"}, &out); err == nil {
+		t.Fatal("bad level: want error")
+	}
+	if err := run([]string{"-server", "ftp"}, &out); err == nil {
+		t.Fatal("bad server: want error")
+	}
+	if err := run([]string{"-attack", "rowhammer", "-conns", "1", "-mem-mb", "16"}, &out); err == nil {
+		t.Fatal("bad attack: want error")
+	}
+}

@@ -1,0 +1,101 @@
+// Command figures regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	figures -list                 # show the experiment catalog
+//	figures -id fig1              # regenerate one figure
+//	figures -all                  # regenerate everything (slow at scale 1)
+//	figures -id fig3 -scale 0.2   # scaled-down quick run
+//
+// Output is plain text: data tables for the sweep figures, x/+ scatter
+// plots for the timelines, paired bars for the performance comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"memshield/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	var (
+		id       = fs.String("id", "", "experiment ID to run (see -list)")
+		all      = fs.Bool("all", false, "run every experiment in the catalog")
+		list     = fs.Bool("list", false, "list the experiment catalog")
+		scale    = fs.Float64("scale", 1.0, "sweep scale in (0,1]: shrinks axes and trial counts")
+		seed     = fs.Int64("seed", 2007, "experiment seed")
+		memPages = fs.Int("mem-pages", 0, "override machine size in pages (0 = per-experiment default)")
+		keyBits  = fs.Int("key-bits", 0, "RSA modulus bits (0 = 512)")
+		plotDir  = fs.String("plot-dir", "", "also write gnuplot .dat/.gp artifacts into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := figures.Config{Seed: *seed, Scale: *scale, MemPages: *memPages, KeyBits: *keyBits}
+	switch {
+	case *list:
+		for _, e := range figures.Catalog() {
+			fmt.Fprintf(out, "%-12s figures %-14v %s\n", e.ID, e.Figures, e.Title)
+		}
+		return nil
+	case *all:
+		for _, e := range figures.Catalog() {
+			fmt.Fprintf(out, "==== %s — %s (paper figures %v) ====\n", e.ID, e.Title, e.Figures)
+			res, err := e.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Fprintln(out, res.Render())
+			if err := writeArtifacts(*plotDir, e.ID, res); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *id != "":
+		entry, ok := figures.Lookup(*id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (known: %v)", *id, figures.IDs())
+		}
+		res, err := entry.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res.Render())
+		return writeArtifacts(*plotDir, entry.ID, res)
+	default:
+		return fmt.Errorf("one of -list, -all or -id is required")
+	}
+}
+
+// writeArtifacts saves a result's gnuplot files under dir, if requested and
+// the result can emit them.
+func writeArtifacts(dir, id string, res figures.Rendered) error {
+	if dir == "" {
+		return nil
+	}
+	plottable, ok := res.(figures.Plottable)
+	if !ok {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, content := range plottable.Artifacts(id) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

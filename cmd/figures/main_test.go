@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig1", "fig27", "ext2-reexam", "ablation", "hardware"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-id", "fig15", "-scale", "0.1", "-mem-pages", "4096", "-seed", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "OpenSSH timeline") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no mode flag: want error")
+	}
+	if err := run([]string{"-id", "bogus"}, &out); err == nil {
+		t.Fatal("bogus id: want error")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Fatal("bad flag: want error")
+	}
+}
+
+func TestRunWithPlotDir(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-id", "fig5", "-scale", "0.1", "-mem-pages", "4096",
+		"-seed", "1", "-plot-dir", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig5-counts.dat", "fig5-counts.gp", "fig5-locations.dat"} {
+		data, err := os.ReadFile(filepath.Join(dir, want))
+		if err != nil {
+			t.Fatalf("missing artifact %s: %v", want, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("empty artifact %s", want)
+		}
+	}
+}

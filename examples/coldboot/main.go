@@ -1,0 +1,85 @@
+// Coldboot plays the fully realistic attacker: no knowledge of the private
+// key at all — only the server's certificate (public key) and a dump of
+// physical memory. The key-recovery toolchain tries PEM armor, raw DER
+// structures, and factor scanning (any surviving copy of prime p or q
+// divides the public modulus, which rebuilds the whole key). Against the
+// unprotected server every method fires; against the integrated solution
+// only the factor scan still works, and only because one aligned copy must
+// exist somewhere — the residual the paper says software cannot remove.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memshield"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== coldboot: key recovery with only the public key ==")
+	fmt.Println()
+	fmt.Printf("%-14s %-10s %-10s %-16s\n", "level", "recovered", "method", "works as signer")
+	for _, level := range []memshield.Protection{
+		memshield.ProtectionNone,
+		memshield.ProtectionKernel,
+		memshield.ProtectionIntegrated,
+	} {
+		if err := attack(level); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	fmt.Println("Kernel-level zeroing thins the copies but any survivor still factors N;")
+	fmt.Println("the integrated solution leaves exactly one aligned copy — enough for a")
+	fmt.Println("full-memory dump, which is why the paper's endgame is special hardware.")
+	return nil
+}
+
+func attack(level memshield.Protection) error {
+	m, err := memshield.NewMachine(memshield.MachineConfig{
+		MemoryMB: 8, Protection: level, Seed: 31,
+	})
+	if err != nil {
+		return err
+	}
+	key, err := m.InstallKey("/etc/ssh/host.key", 512)
+	if err != nil {
+		return err
+	}
+	srv, err := m.StartSSH(level, key.Path)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := srv.Connect(); err != nil {
+			return err
+		}
+	}
+	// The attacker's view: the whole RAM image and the public key.
+	image := m.DumpMemory()
+	res := memshield.RecoverKey(image, key, memshield.RecoveryOptions{
+		FactorStride: 16, MaxHits: 1,
+	})
+	method, works := "-", "-"
+	if res.Success() {
+		method = res.Hits[0].Method.String()
+		recovered := res.First()
+		sig, err := recovered.SignPKCS1v15([]byte("proof"))
+		if err != nil {
+			return err
+		}
+		if err := key.Private.PublicKey.VerifyPKCS1v15([]byte("proof"), sig); err == nil {
+			works = "yes"
+		} else {
+			works = "NO"
+		}
+	}
+	fmt.Printf("%-14s %-10v %-10s %-16s\n", level, res.Success(), method, works)
+	return nil
+}

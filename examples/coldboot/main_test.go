@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRunCompletes keeps the example executable: it must run end to end
+// without error (output goes to stdout; correctness of the underlying
+// behaviour is asserted by the package test suites).
+func TestRunCompletes(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+// Prefork dissects the Apache copy-multiplication mechanism the paper
+// found: every prefork worker that serves a TLS handshake materializes its
+// own Montgomery cache of the key's primes, so the machine-wide copy count
+// scales with the active worker pool — and when the pool shrinks, the
+// reaped workers' copies linger in unallocated memory. With the key
+// aligned, copy-on-write keeps every worker on the same single physical
+// page.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memshield"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== prefork: per-worker key copies in Apache ==")
+	for _, level := range []memshield.Protection{
+		memshield.ProtectionNone,
+		memshield.ProtectionLibrary,
+	} {
+		fmt.Printf("\n--- protection: %s ---\n", level)
+		if err := demo(level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func demo(level memshield.Protection) error {
+	m, err := memshield.NewMachine(memshield.MachineConfig{
+		MemoryMB: 32, Protection: level, Seed: 3,
+	})
+	if err != nil {
+		return err
+	}
+	key, err := m.InstallKey("/etc/apache2/ssl/server.key", 512)
+	if err != nil {
+		return err
+	}
+	srv, err := m.StartApache(level, key.Path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-34s workers=%2d copies=%2d\n",
+		"startup (prefork pool forked):", srv.Workers(), m.Scan(key).Total)
+
+	// Ramp the concurrent load in steps; each step activates more workers.
+	var open []int
+	for _, target := range []int{4, 8, 16} {
+		for len(open) < target {
+			id, err := srv.Connect()
+			if err != nil {
+				return err
+			}
+			open = append(open, id)
+		}
+		sum := m.Scan(key)
+		fmt.Printf("%2d concurrent TLS connections:     workers=%2d copies=%2d (allocated=%d)\n",
+			target, srv.Workers(), sum.Total, sum.Allocated)
+	}
+
+	// Load drops; the pool reaps excess idle workers.
+	for _, id := range open {
+		if err := srv.Disconnect(id); err != nil {
+			return err
+		}
+	}
+	if err := srv.MaintainSpares(); err != nil {
+		return err
+	}
+	sum := m.Scan(key)
+	fmt.Printf("%-34s workers=%2d copies=%2d (unallocated=%d)\n",
+		"load dropped, pool reaped:", srv.Workers(), sum.Total, sum.Unallocated)
+	return nil
+}

@@ -1,0 +1,3 @@
+module memshield
+
+go 1.22

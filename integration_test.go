@@ -1,0 +1,174 @@
+package memshield
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickIntegratedInvariantUnderRandomSchedules is DESIGN.md invariant 8:
+// under the integrated solution, at EVERY point of ANY schedule of server
+// events, the scanner finds exactly the three aligned parts (d, p, q once
+// each) and zero copies in unallocated memory.
+func TestQuickIntegratedInvariantUnderRandomSchedules(t *testing.T) {
+	f := func(seed int64) bool {
+		m, err := NewMachine(MachineConfig{
+			MemoryMB: 16, Protection: ProtectionIntegrated, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		key, err := m.InstallKey("/k.pem", 512)
+		if err != nil {
+			return false
+		}
+		srv, err := m.StartSSH(ProtectionIntegrated, key.Path)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var open []int
+		check := func() bool {
+			sum := m.Scan(key)
+			return sum.Total == 3 && sum.Unallocated == 0
+		}
+		if !check() {
+			return false
+		}
+		for step := 0; step < 60; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				id, err := srv.Connect()
+				if err != nil {
+					return false
+				}
+				open = append(open, id)
+			case 1:
+				if len(open) > 0 {
+					i := rng.Intn(len(open))
+					if err := srv.Disconnect(open[i]); err != nil {
+						return false
+					}
+					open = append(open[:i], open[i+1:]...)
+				}
+			case 2:
+				if len(open) > 0 {
+					id := open[rng.Intn(len(open))]
+					if err := srv.Transfer(id, 1+rng.Intn(64*1024)); err != nil {
+						return false
+					}
+				}
+			case 3:
+				m.Tick()
+			}
+			if !check() {
+				return false
+			}
+		}
+		// Stop: under integrated nothing at all survives.
+		if err := srv.Stop(); err != nil {
+			return false
+		}
+		return m.Scan(key).Total == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickKernelLevelInvariant: under the kernel-level solution alone,
+// unallocated memory NEVER holds a key copy, whatever the schedule — even
+// though allocated copies come and go freely.
+func TestQuickKernelLevelInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		m, err := NewMachine(MachineConfig{
+			MemoryMB: 16, Protection: ProtectionKernel, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		key, err := m.InstallKey("/k.pem", 512)
+		if err != nil {
+			return false
+		}
+		srv, err := m.StartApache(ProtectionKernel, key.Path)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var open []int
+		for step := 0; step < 40; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				id, err := srv.Connect()
+				if err != nil {
+					break // MaxClients is a legitimate refusal
+				}
+				open = append(open, id)
+			case 1:
+				if len(open) > 0 {
+					i := rng.Intn(len(open))
+					if err := srv.Disconnect(open[i]); err != nil {
+						return false
+					}
+					open = append(open[:i], open[i+1:]...)
+				}
+			case 2:
+				if err := srv.MaintainSpares(); err != nil {
+					return false
+				}
+			case 3:
+				m.Tick()
+			}
+			if m.Scan(key).Unallocated != 0 {
+				return false
+			}
+		}
+		if err := srv.Stop(); err != nil {
+			return false
+		}
+		return m.Scan(key).Unallocated == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUnprotectedAlwaysVulnerable is the converse sanity check: an
+// unprotected server that has served and closed at least a few connections
+// always leaves recoverable copies for the ext2 attack.
+func TestQuickUnprotectedAlwaysVulnerable(t *testing.T) {
+	f := func(seed int64) bool {
+		m, err := NewMachine(MachineConfig{MemoryMB: 16, Seed: seed})
+		if err != nil {
+			return false
+		}
+		key, err := m.InstallKey("/k.pem", 512)
+		if err != nil {
+			return false
+		}
+		srv, err := m.StartSSH(ProtectionNone, key.Path)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		conns := 3 + rng.Intn(5)
+		for i := 0; i < conns; i++ {
+			id, err := srv.Connect()
+			if err != nil {
+				return false
+			}
+			if err := srv.Disconnect(id); err != nil {
+				return false
+			}
+		}
+		res, err := m.RunExt2Attack(key, 500)
+		if err != nil {
+			return false
+		}
+		return res.Success
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

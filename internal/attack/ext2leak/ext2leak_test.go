@@ -1,0 +1,179 @@
+package ext2leak
+
+import (
+	"testing"
+
+	"memshield/internal/crypto/rsakey"
+	"memshield/internal/kernel"
+	"memshield/internal/protect"
+	"memshield/internal/scan"
+	"memshield/internal/server/sshd"
+	"memshield/internal/stats"
+)
+
+const keyPath = "/etc/ssh/key.pem"
+
+// rig boots a machine, runs an SSH server at the given level, churns
+// through conns connections (opened then closed), and returns everything
+// needed to attack it.
+func rig(t *testing.T, level protect.Level, memPages, conns int) (*kernel.Kernel, []scan.Pattern) {
+	t.Helper()
+	k, err := kernel.New(kernel.Config{MemPages: memPages, DeallocPolicy: level.KernelPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := rsakey.Generate(stats.NewReader(31337), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.FS().WriteFile(keyPath, key.MarshalPEM()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sshd.Start(k, sshd.Config{KeyPath: keyPath, Level: level, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int
+	for i := 0; i < conns; i++ {
+		id, err := s.Connect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if err := s.Disconnect(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k, scan.PatternsFor(key)
+}
+
+func TestAttackRecoversKeyFromUnprotectedServer(t *testing.T) {
+	k, patterns := rig(t, protect.LevelNone, 4096, 10)
+	res, err := Run(k, patterns, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("attack on unprotected server should succeed")
+	}
+	if res.Summary.Total == 0 {
+		t.Fatal("no copies recovered")
+	}
+	if res.DirsCreated != 500 || res.BytesCaptured != 500*4072 {
+		t.Fatalf("created=%d captured=%d", res.DirsCreated, res.BytesCaptured)
+	}
+	// Cleanup happened: the USB dirs are gone.
+	if k.FS().NumDirs() != 0 {
+		t.Fatal("attack should clean up its directories")
+	}
+}
+
+func TestMoreDirsRecoverMoreCopies(t *testing.T) {
+	k, patterns := rig(t, protect.LevelNone, 4096, 12)
+	small, err := Run(k, patterns, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-churn is unnecessary: the same freed pages are still there; a
+	// bigger sweep must see at least as much.
+	large, err := Run(k, patterns, 800, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Summary.Total < small.Summary.Total {
+		t.Fatalf("larger sweep found fewer copies: %d < %d", large.Summary.Total, small.Summary.Total)
+	}
+	if large.Summary.Total == 0 {
+		t.Fatal("large sweep should find copies")
+	}
+}
+
+func TestKernelZeroingDefeatsAttack(t *testing.T) {
+	for _, level := range []protect.Level{protect.LevelKernel, protect.LevelIntegrated} {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			k, patterns := rig(t, level, 4096, 10)
+			res, err := Run(k, patterns, 800, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Success || res.Summary.Total != 0 {
+				t.Fatalf("attack under %v: success=%v copies=%d, want defeat",
+					level, res.Success, res.Summary.Total)
+			}
+		})
+	}
+}
+
+func TestAppLevelAloneStillDefeatsThisAttackInPractice(t *testing.T) {
+	// Section 5.2: with the application-level solution no key portion was
+	// recovered (only one mlocked, never-freed copy exists, so nothing of
+	// it reaches unallocated memory), even though the level does not
+	// guarantee it.
+	k, patterns := rig(t, protect.LevelApp, 4096, 10)
+	res, err := Run(k, patterns, 800, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Fatal("app-level run should expose nothing through the ext2 leak")
+	}
+}
+
+func TestUpstreamFSFixDefeatsAttack(t *testing.T) {
+	k, err := kernel.New(kernel.Config{MemPages: 2048, FSLeakFixed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := rsakey.Generate(stats.NewReader(1), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.FS().WriteFile(keyPath, key.MarshalPEM()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sshd.Start(k, sshd.Config{KeyPath: keyPath, Level: protect.LevelNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Disconnect(id); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(k, scan.PatternsFor(key), 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Fatal("fixed ext2 must leak nothing")
+	}
+}
+
+func TestAttackStopsAtOOM(t *testing.T) {
+	k, patterns := rig(t, protect.LevelNone, 512, 2)
+	res, err := Run(k, patterns, 100000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirsCreated >= res.DirsRequested {
+		t.Fatal("attack should have hit OOM")
+	}
+	if res.DirsCreated == 0 {
+		t.Fatal("some directories should have been created")
+	}
+	if k.FS().NumDirs() != 0 {
+		t.Fatal("cleanup must release everything even after OOM")
+	}
+}
+
+func TestRunRejectsBadDirs(t *testing.T) {
+	k, patterns := rig(t, protect.LevelNone, 512, 1)
+	if _, err := Run(k, patterns, 0, 0); err == nil {
+		t.Fatal("dirs=0 should error")
+	}
+}

@@ -1,0 +1,120 @@
+package swapleak
+
+import (
+	"testing"
+
+	"memshield/internal/crypto/rsakey"
+	"memshield/internal/kernel"
+	"memshield/internal/kernel/vm"
+	"memshield/internal/scan"
+	"memshield/internal/ssl"
+	"memshield/internal/stats"
+
+	"memshield/internal/libc"
+)
+
+// rig boots a machine with a key loaded in one process and pressure-evicts
+// its memory to swap.
+func rig(t *testing.T, encryptSwap, mlockKey bool) (*kernel.Kernel, []scan.Pattern) {
+	t.Helper()
+	k, err := kernel.New(kernel.Config{MemPages: 512, SwapPages: 128, EncryptSwap: encryptSwap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := rsakey.Generate(stats.NewReader(888), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := k.Spawn(0, "keyholder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := libc.New(k, pid)
+	r, err := ssl.D2iPrivateKey(heap, key.MarshalPEM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlockKey {
+		// RSA_memory_align: the aligned region is mlocked.
+		if err := r.MemoryAlign(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ordinary application state, so memory pressure has unlocked pages
+	// to evict in every configuration.
+	buf, err := heap.Malloc(8 * 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := heap.Write(buf, []byte("ordinary app state")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.MemoryPressure(pid, 64); err != nil {
+		t.Fatal(err)
+	}
+	return k, scan.PatternsFor(key)
+}
+
+func TestUnprotectedKeyReachesSwap(t *testing.T) {
+	k, patterns := rig(t, false, false)
+	res := Run(k, patterns)
+	if !res.Success || res.Summary.Total == 0 {
+		t.Fatalf("unprotected key should be on swap: %+v", res.Summary)
+	}
+	if res.DeviceBytes != 128*4096 {
+		t.Fatalf("DeviceBytes = %d", res.DeviceBytes)
+	}
+	if res.SlotsInUse == 0 {
+		t.Fatal("slots should be in use")
+	}
+	if res.Encrypted {
+		t.Fatal("device should report unencrypted")
+	}
+}
+
+func TestMlockKeepsKeyOffSwap(t *testing.T) {
+	k, patterns := rig(t, false, true)
+	res := Run(k, patterns)
+	if res.Success {
+		t.Fatalf("mlocked key must never reach swap: %+v", res.Summary)
+	}
+	// The pressure did evict the process's *other* pages.
+	if res.SlotsInUse == 0 {
+		t.Fatal("non-key pages should have been evicted")
+	}
+}
+
+func TestSwapEncryptionHidesKey(t *testing.T) {
+	k, patterns := rig(t, true, false)
+	res := Run(k, patterns)
+	if res.Success {
+		t.Fatalf("encrypted swap must not expose the key pattern: %+v", res.Summary)
+	}
+	if !res.Encrypted {
+		t.Fatal("device should report encrypted")
+	}
+}
+
+func TestStaleSlotsStillLeak(t *testing.T) {
+	// Swap slots are never scrubbed: even after the page is faulted back
+	// in and the slot released, the raw device still holds the key.
+	k, patterns := rig(t, false, false)
+	// Fault everything back in by touching the keyholder's memory.
+	var keyholder int
+	for _, pid := range k.Procs().Live() {
+		keyholder = pid
+	}
+	space, err := k.VM().Space(keyholder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vma := range space.VMAs() {
+		if _, err := k.VM().Read(keyholder, vma.Start, 1); err != nil && err != vm.ErrBadAddress {
+			continue
+		}
+	}
+	res := Run(k, patterns)
+	if !res.Success {
+		t.Fatal("released slots retain data: the leak should persist")
+	}
+}

@@ -1,0 +1,24 @@
+package pemfile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode ensures PEM parsing never panics, and that whatever it accepts
+// re-encodes to something it accepts again with the same payload.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(Encode("RSA PRIVATE KEY", []byte("payload"))))
+	f.Add([]byte("-----BEGIN X-----\n!!!\n-----END X-----\n"))
+	f.Add([]byte("-----BEGIN "))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, der, err := Decode(data)
+		if err != nil {
+			return
+		}
+		typ2, der2, err := Decode(Encode(typ, der))
+		if err != nil || typ2 != typ || !bytes.Equal(der2, der) {
+			t.Fatalf("accepted block does not round-trip: %v", err)
+		}
+	})
+}

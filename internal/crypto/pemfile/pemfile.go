@@ -1,0 +1,81 @@
+// Package pemfile implements PEM armoring (RFC 1421-style) for the
+// simulated private-key files. The armored text is the exact byte pattern
+// the paper's scanner hunts for in the page cache: the "PEM-encoded private
+// key file" is itself counted as a copy of the key.
+package pemfile
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+const lineLength = 64
+
+// Errors reported by the decoder.
+var (
+	ErrNoBegin    = errors.New("pemfile: BEGIN line not found")
+	ErrNoEnd      = errors.New("pemfile: END line not found")
+	ErrTypeMangle = errors.New("pemfile: BEGIN/END type mismatch")
+	ErrBadBase64  = errors.New("pemfile: invalid base64 body")
+)
+
+// Encode wraps der in PEM armor with the given type label, e.g.
+// "RSA PRIVATE KEY".
+func Encode(blockType string, der []byte) []byte {
+	var b strings.Builder
+	b.WriteString("-----BEGIN ")
+	b.WriteString(blockType)
+	b.WriteString("-----\n")
+	enc := base64.StdEncoding.EncodeToString(der)
+	for len(enc) > lineLength {
+		b.WriteString(enc[:lineLength])
+		b.WriteByte('\n')
+		enc = enc[lineLength:]
+	}
+	if len(enc) > 0 {
+		b.WriteString(enc)
+		b.WriteByte('\n')
+	}
+	b.WriteString("-----END ")
+	b.WriteString(blockType)
+	b.WriteString("-----\n")
+	return []byte(b.String())
+}
+
+// Decode parses the first PEM block in data, returning its type and DER body.
+func Decode(data []byte) (blockType string, der []byte, err error) {
+	text := string(data)
+	beginIdx := strings.Index(text, "-----BEGIN ")
+	if beginIdx < 0 {
+		return "", nil, ErrNoBegin
+	}
+	rest := text[beginIdx+len("-----BEGIN "):]
+	typeEnd := strings.Index(rest, "-----")
+	if typeEnd < 0 {
+		return "", nil, ErrNoBegin
+	}
+	blockType = rest[:typeEnd]
+	body := rest[typeEnd+len("-----"):]
+	endMarker := "-----END " + blockType + "-----"
+	endIdx := strings.Index(body, "-----END ")
+	if endIdx < 0 {
+		return "", nil, ErrNoEnd
+	}
+	if !strings.HasPrefix(body[endIdx:], endMarker) {
+		return "", nil, fmt.Errorf("%w: want %q", ErrTypeMangle, endMarker)
+	}
+	b64 := strings.Map(func(r rune) rune {
+		switch r {
+		case '\n', '\r', ' ', '\t':
+			return -1
+		}
+		return r
+	}, body[:endIdx])
+	der, err = base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadBase64, err)
+	}
+	return blockType, der, nil
+}

@@ -1,0 +1,24 @@
+package rsakey
+
+import "testing"
+
+// FuzzParseDER ensures arbitrary input never panics the key parser, and
+// that anything it accepts is a genuinely valid key.
+func FuzzParseDER(f *testing.F) {
+	key, err := Generate(seedReader(3), 256)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(key.MarshalDER())
+	f.Add([]byte{0x30, 0x00})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := ParseDER(data)
+		if err != nil {
+			return
+		}
+		if verr := parsed.Validate(); verr != nil {
+			t.Fatalf("ParseDER accepted an invalid key: %v", verr)
+		}
+	})
+}

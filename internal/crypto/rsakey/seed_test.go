@@ -1,0 +1,10 @@
+package rsakey
+
+import "math/rand"
+
+// seedReader gives fuzz seeds a deterministic entropy source without
+// importing the stats package (which would create an import cycle in some
+// tooling configurations).
+func seedReader(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

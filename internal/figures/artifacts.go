@@ -1,0 +1,136 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"memshield/internal/mem"
+	"memshield/internal/report"
+)
+
+// Plottable is implemented by figure results that can emit gnuplot-ready
+// artifacts (.dat data files and .gp scripts), the same pipeline the paper
+// used for its plots. Keys are file names (no directories), values are file
+// contents; cmd/figures -plot-dir writes them to disk.
+type Plottable interface {
+	Artifacts(prefix string) map[string]string
+}
+
+var (
+	_ Plottable = (*TTYSweep)(nil)
+	_ Plottable = (*Ext2Sweep)(nil)
+	_ Plottable = (*TimelineFigure)(nil)
+	_ Plottable = (*PerfComparison)(nil)
+)
+
+// Artifacts emits copies and success-rate plots versus connections, one
+// series per level — the paper's plotssh-*-totalexploit.dat /
+// plotssh-*-freqexploit.dat files.
+func (r *TTYSweep) Artifacts(prefix string) map[string]string {
+	x := make([]float64, len(r.Conns))
+	for i, c := range r.Conns {
+		x[i] = float64(c)
+	}
+	copySeries := make([]report.GnuplotSeries, len(r.Levels))
+	rateSeries := make([]report.GnuplotSeries, len(r.Levels))
+	for li, level := range r.Levels {
+		copySeries[li] = report.GnuplotSeries{Name: level.String(), Y: r.AvgCopies[li]}
+		rateSeries[li] = report.GnuplotSeries{Name: level.String(), Y: r.SuccessRate[li]}
+	}
+	comment := fmt.Sprintf("%s tty-dump sweep, %d trials", displayName(r.Kind), r.Trials)
+	return map[string]string{
+		prefix + "-totalexploit.dat": report.GnuplotDataset(comment, x, copySeries),
+		prefix + "-totalexploit.gp": report.GnuplotScript(
+			displayName(r.Kind)+" RSA private keys found per run",
+			"Total Connections", "Average Number of RSA Private Keys Disclosed",
+			prefix+"-totalexploit.dat", copySeries),
+		prefix + "-freqexploit.dat": report.GnuplotDataset(comment, x, rateSeries),
+		prefix + "-freqexploit.gp": report.GnuplotScript(
+			displayName(r.Kind)+" RSA private key disclosure rate",
+			"Total Connections", "Disclosure Rate",
+			prefix+"-freqexploit.dat", rateSeries),
+	}
+}
+
+// Artifacts emits the 2-D sweep surfaces (copies and success rate) in
+// gnuplot splot block format — the paper's Figure 1/2 surfaces.
+func (r *Ext2Sweep) Artifacts(prefix string) map[string]string {
+	xs := make([]float64, len(r.Conns))
+	for i, c := range r.Conns {
+		xs[i] = float64(c)
+	}
+	ys := make([]float64, len(r.Dirs))
+	for i, d := range r.Dirs {
+		ys[i] = float64(d)
+	}
+	comment := fmt.Sprintf("%s ext2-leak sweep, %d trials (x=connections y=directories)",
+		displayName(r.Kind), r.Trials)
+	return map[string]string{
+		prefix + "-copies.dat": report.GnuplotMatrix(comment, xs, ys, r.AvgCopies),
+		prefix + "-rate.dat":   report.GnuplotMatrix(comment, xs, ys, r.SuccessRate),
+		prefix + ".gp": strings.Join([]string{
+			"set xlabel \"Total Connections\"",
+			"set ylabel \"Total Directories\"",
+			"set zlabel \"RSA Private Keys\"",
+			"set hidden3d",
+			fmt.Sprintf("splot %q with lines title \"copies found\"", prefix+"-copies.dat"),
+			"pause -1",
+			fmt.Sprintf("splot %q with lines title \"success rate\"", prefix+"-rate.dat"),
+			"",
+		}, "\n"),
+	}
+}
+
+// Artifacts emits the per-tick copy counts and the location scatter — the
+// paper's two per-run plots.
+func (t *TimelineFigure) Artifacts(prefix string) map[string]string {
+	x := make([]float64, len(t.Result.Samples))
+	total := make([]float64, len(t.Result.Samples))
+	alloc := make([]float64, len(t.Result.Samples))
+	unalloc := make([]float64, len(t.Result.Samples))
+	var locations strings.Builder
+	fmt.Fprintf(&locations, "# %s timeline level=%s: tick addr_fraction state(1=allocated,0=unallocated)\n",
+		displayName(t.Kind), t.Level)
+	memBytes := float64(t.Result.MemPages) * mem.PageSize
+	for i, s := range t.Result.Samples {
+		x[i] = float64(s.Tick)
+		total[i] = float64(s.Summary.Total)
+		alloc[i] = float64(s.Summary.Allocated)
+		unalloc[i] = float64(s.Summary.Unallocated)
+		for _, m := range s.Matches {
+			state := 0
+			if m.Allocated {
+				state = 1
+			}
+			fmt.Fprintf(&locations, "%d %g %d\n", s.Tick, float64(m.Addr)/memBytes, state)
+		}
+	}
+	series := []report.GnuplotSeries{
+		{Name: "total", Y: total},
+		{Name: "allocated", Y: alloc},
+		{Name: "unallocated", Y: unalloc},
+	}
+	comment := fmt.Sprintf("%s timeline, level=%s", displayName(t.Kind), t.Level)
+	return map[string]string{
+		prefix + "-counts.dat": report.GnuplotDataset(comment, x, series),
+		prefix + "-counts.gp": report.GnuplotScript(
+			fmt.Sprintf("Number of %s private RSA key matches in memory versus time", displayName(t.Kind)),
+			"Time Elapsed Since Start Of Simulation", "Number Of Private Key Matches",
+			prefix+"-counts.dat", series),
+		prefix + "-locations.dat": locations.String(),
+	}
+}
+
+// Artifacts emits the before/after metric pairs.
+func (p *PerfComparison) Artifacts(prefix string) map[string]string {
+	metrics := []string{"transaction_rate", "throughput_mbit", "response_time_s", "concurrency"}
+	before := []float64{p.Before.TransactionRate, p.Before.ThroughputMbit, p.Before.ResponseTimeSec, p.Before.Concurrency}
+	after := []float64{p.After.TransactionRate, p.After.ThroughputMbit, p.After.ResponseTimeSec, p.After.Concurrency}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s performance before/after integrated, %d reps\n", displayName(p.Kind), p.Reps)
+	b.WriteString("# metric before after\n")
+	for i, m := range metrics {
+		fmt.Fprintf(&b, "%s %g %g\n", m, before[i], after[i])
+	}
+	return map[string]string{prefix + "-perf.dat": b.String()}
+}

@@ -1,0 +1,129 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"memshield/internal/crypto/rsakey"
+	"memshield/internal/kernel"
+	"memshield/internal/report"
+	"memshield/internal/scan"
+	"memshield/internal/server/sshd"
+	"memshield/internal/stats"
+)
+
+// CopyMinRow is one ingredient combination's outcome.
+type CopyMinRow struct {
+	Name string
+	// BaseCopies is the copy count with the server idle.
+	BaseCopies int
+	// PerConn is the copy growth per live connection.
+	PerConn float64
+	// Mlocked reports whether any key copy sits on an mlocked page.
+	Mlocked bool
+}
+
+// CopyMinResult is the copy-minimization ingredient ablation: the paper's
+// application-level solution combines three measures — don't reload the key
+// per connection (-r), don't build per-use caches (clear
+// RSA_FLAG_CACHE_PRIVATE), and relocate the key to a dedicated mlocked page
+// (posix_memalign + mlock). This experiment turns them on one at a time and
+// shows that each alone still leaks: -r keeps per-connection growth via
+// caches and COW-neighbour duplication, cache-off still duplicates the
+// shared heap page, and only full alignment reaches the constant single
+// copy.
+type CopyMinResult struct {
+	Conns int
+	Rows  []CopyMinRow
+}
+
+// CopyMinAblation runs the ingredient ablation on the OpenSSH server.
+func CopyMinAblation(cfg Config) (*CopyMinResult, error) {
+	cfg.applyDefaults()
+	memPages := cfg.MemPages
+	if memPages == 0 {
+		memPages = defaultTTYMemPages
+	}
+	conns := cfg.scaled(12, 4)
+	res := &CopyMinResult{Conns: conns}
+
+	type variant struct {
+		name   string
+		level  protectLevel
+		tweaks sshd.Tweaks
+	}
+	variants := []variant{
+		{name: "unpatched (re-exec per connection)", level: levelNone},
+		{name: "-r only (fork, COW-share key)", level: levelNone, tweaks: sshd.Tweaks{NoReexec: true}},
+		{name: "-r + cache disabled", level: levelNone, tweaks: sshd.Tweaks{NoReexec: true, DisableKeyCache: true}},
+		{name: "full alignment (application level)", level: levelApp},
+	}
+	for vi, v := range variants {
+		seed := cfg.Seed + int64(vi*1000)
+		k, err := kernel.New(kernel.Config{
+			MemPages:      memPages,
+			DeallocPolicy: v.level.KernelPolicy(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figures: copymin: %w", err)
+		}
+		key, err := rsakey.Generate(stats.NewReader(seed), cfg.KeyBits)
+		if err != nil {
+			return nil, err
+		}
+		if err := k.FS().WriteFile(keyPath, key.MarshalPEM()); err != nil {
+			return nil, err
+		}
+		if err := k.ScrambleFreeMemory(seed + 1); err != nil {
+			return nil, err
+		}
+		srv, err := sshd.Start(k, sshd.Config{
+			KeyPath: keyPath, Level: v.level, Tweaks: v.tweaks, Seed: seed + 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		patterns := scan.PatternsFor(key)
+		sc := scan.New(k, patterns)
+		base := scan.Summarize(sc.Scan()).Total
+		for i := 0; i < conns; i++ {
+			if _, err := srv.Connect(); err != nil {
+				return nil, err
+			}
+		}
+		matches := sc.Scan()
+		grown := scan.Summarize(matches).Total
+		mlocked := false
+		for _, m := range matches {
+			if m.Part != scan.PartPEM && k.Mem().Frame(m.Addr.Page()).Locked {
+				mlocked = true
+			}
+		}
+		res.Rows = append(res.Rows, CopyMinRow{
+			Name:       v.name,
+			BaseCopies: base,
+			PerConn:    float64(grown-base) / float64(conns),
+			Mlocked:    mlocked,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the ablation table.
+func (r *CopyMinResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Copy-minimization ingredient ablation (OpenSSH, %d live connections)\n", r.Conns)
+	headers := []string{"configuration", "idle copies", "growth per connection", "key mlocked"}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name,
+			fmt.Sprintf("%d", row.BaseCopies),
+			report.Float(row.PerConn, 2),
+			fmt.Sprintf("%v", row.Mlocked),
+		})
+	}
+	b.WriteString(report.RenderTable("", headers, rows))
+	b.WriteString("\nOnly the full RSA_memory_align treatment reaches zero growth AND an\nmlocked key page; each ingredient alone leaves a leak.\n")
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"memshield/internal/attack/ext2leak"
+	"memshield/internal/kernel/fs"
+	"memshield/internal/report"
+	"memshield/internal/scan"
+	"memshield/internal/stats"
+)
+
+// Ext2 sweep defaults (the paper's Figure 1/2 axes and trial count).
+var (
+	defaultExt2Conns = []int{50, 150, 275, 387, 500}
+	defaultExt2Dirs  = []int{1000, 4000, 7000, 10000}
+)
+
+const (
+	defaultExt2Trials = 15
+	// 256 MiB — the paper's testbed size. The attack's yield is a density
+	// game (stale key pages per free page), so RAM size directly scales
+	// the recovered-copy counts.
+	defaultExt2MemPages = 65536
+)
+
+// Ext2Sweep is the result of the Figure 1 / Figure 2 experiment: for every
+// (connections, directories) grid point, the average number of key copies
+// the attack recovers and its success rate, over Trials independent runs.
+type Ext2Sweep struct {
+	Kind   ServerKind
+	Conns  []int
+	Dirs   []int
+	Trials int
+	// AvgCopies[d][c] and SuccessRate[d][c] index by (dirs, conns).
+	AvgCopies   [][]float64
+	SuccessRate [][]float64
+}
+
+// SweepExt2 runs the ext2 mkdir-leak attack sweep against the chosen
+// server. For each connection count and trial, a fresh machine is booted,
+// the server handles that many concurrent connections which then close,
+// and the attack creates max(Dirs) directories; the smaller directory
+// counts are evaluated as prefixes of the same captured haul (the first D
+// directories of a run disclose the same blocks regardless of how many
+// more follow).
+func SweepExt2(cfg Config, kind ServerKind) (*Ext2Sweep, error) {
+	cfg.applyDefaults()
+	memPages := cfg.MemPages
+	if memPages == 0 {
+		memPages = defaultExt2MemPages
+	}
+	conns := scaleAxis(defaultExt2Conns, cfg.Scale, 5)
+	dirs := scaleAxis(defaultExt2Dirs, cfg.Scale, 50)
+	trials := cfg.scaled(defaultExt2Trials, 2)
+
+	res := &Ext2Sweep{Kind: kind, Conns: conns, Dirs: dirs, Trials: trials}
+	res.AvgCopies = make([][]float64, len(dirs))
+	res.SuccessRate = make([][]float64, len(dirs))
+	for i := range dirs {
+		res.AvgCopies[i] = make([]float64, len(conns))
+		res.SuccessRate[i] = make([]float64, len(conns))
+	}
+	maxDirs := dirs[len(dirs)-1]
+
+	for ci, c := range conns {
+		copies := make([][]float64, len(dirs)) // [dirIdx][trial]
+		hits := make([]int, len(dirs))
+		for i := range copies {
+			copies[i] = make([]float64, 0, trials)
+		}
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.Seed + int64(ci*1000+trial)
+			ls, err := buildLoadedServer(kind, levelNone, memPages, cfg.KeyBits, c, seed)
+			if err != nil {
+				return nil, fmt.Errorf("figures: ext2 sweep conns=%d trial=%d: %w", c, trial, err)
+			}
+			if err := ls.closeAll(); err != nil {
+				return nil, err
+			}
+			if err := ls.settleBeforeAttack(seed + 7); err != nil {
+				return nil, err
+			}
+			attack, err := ext2leak.Run(ls.k, ls.patterns, maxDirs, trial)
+			if err != nil {
+				return nil, fmt.Errorf("figures: ext2 sweep conns=%d trial=%d: %w", c, trial, err)
+			}
+			// Count by directory-prefix without re-capturing: directory i
+			// contributed bytes [i*leak, (i+1)*leak).
+			matches := attackMatches(attack, ls.patterns)
+			for di, d := range dirs {
+				limit := d * fs.MaxLeakPerDir
+				n := 0
+				for _, m := range matches {
+					if m.Off+m.Len <= limit {
+						n++
+					}
+				}
+				copies[di] = append(copies[di], float64(n))
+				if n > 0 {
+					hits[di]++
+				}
+			}
+		}
+		for di := range dirs {
+			res.AvgCopies[di][ci] = stats.Mean(copies[di])
+			res.SuccessRate[di][ci] = stats.Rate(hits[di], trials)
+		}
+	}
+	return res, nil
+}
+
+// attackMatches reruns the pattern search over the attack's captured bytes.
+// ext2leak.Run already counted them, but prefix evaluation needs offsets.
+func attackMatches(res ext2leak.Result, patterns []scan.Pattern) []scan.BufferMatch {
+	return scan.FindAllInBuffer(res.Captured, patterns)
+}
+
+// Render prints the two matrices (copies found, success rate) that
+// correspond to the paper's sub-figures (a) and (b).
+func (r *Ext2Sweep) Render() string {
+	var b strings.Builder
+	xs := make([]string, len(r.Conns))
+	for i, c := range r.Conns {
+		xs[i] = fmt.Sprintf("%d", c)
+	}
+	ys := make([]string, len(r.Dirs))
+	for i, d := range r.Dirs {
+		ys[i] = fmt.Sprintf("%d", d)
+	}
+	cells := func(vals [][]float64, prec int) [][]string {
+		out := make([][]string, len(vals))
+		for i, row := range vals {
+			out[i] = make([]string, len(row))
+			for j, v := range row {
+				out[i][j] = report.Float(v, prec)
+			}
+		}
+		return out
+	}
+	fmt.Fprintf(&b, "%s private keys found per ext2-leak attack (avg over %d trials)\n",
+		displayName(r.Kind), r.Trials)
+	b.WriteString(report.RenderMatrix("", "dirs\\conns", xs, ys, cells(r.AvgCopies, 2)))
+	b.WriteString("\n")
+	b.WriteString("Attack success rate\n")
+	b.WriteString(report.RenderMatrix("", "dirs\\conns", xs, ys, cells(r.SuccessRate, 2)))
+	return b.String()
+}
+
+// scaleAxis scales every axis value, keeping them distinct and >= floor.
+func scaleAxis(axis []int, scale float64, floor int) []int {
+	out := make([]int, len(axis))
+	prev := 0
+	for i, v := range axis {
+		s := int(float64(v) * scale)
+		if s < floor {
+			s = floor
+		}
+		if s <= prev {
+			s = prev + 1
+		}
+		out[i] = s
+		prev = s
+	}
+	return out
+}

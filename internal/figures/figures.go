@@ -1,0 +1,236 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation. Each experiment is a pure function of a Config (deterministic
+// given the seed) returning a typed result that renders to text; the
+// Catalog maps paper figure numbers to experiments so cmd/figures and the
+// root benchmarks can reproduce any of them by ID.
+//
+// Experiment inventory (see DESIGN.md for the full index):
+//
+//	fig1  / fig2   — ext2 mkdir-leak sweep, OpenSSH / Apache (Fig 1–2 a+b)
+//	fig3  / fig4   — tty dump sweep, OpenSSH / Apache (Fig 3–4 a+b)
+//	fig5  / fig6   — unprotected timeline, OpenSSH / Apache (Fig 5–6 a+b)
+//	fig7  / fig17  — tty sweep before vs after integrated (Fig 7, 17–18)
+//	fig8           — OpenSSH scp performance before/after (Fig 8)
+//	fig9..fig16    — OpenSSH timelines per protection level (Fig 9–16)
+//	fig19          — Apache siege performance before/after (Fig 19–20)
+//	fig21..fig28   — Apache timelines per protection level (Fig 21–28)
+//	ext2-reexam    — §5.2/§6.2 re-examination table (no figure number)
+//	ablation       — secure-dealloc vs zero-on-free vs integrated ablation
+//	copymin        — -r / cache-flag / alignment ingredient ablation
+//	hardware       — integrated software limit vs HSM (§7 conclusion)
+//	lifetime       — key-copy lifetime analytics (Chow et al. metric)
+//	swap           — raw swap-device disclosure: plain vs mlock vs encrypted
+package figures
+
+import "fmt"
+
+// Config tunes every experiment. The zero value gives the full paper-scale
+// parameters; Scale < 1 shrinks the sweeps proportionally for quick runs
+// and tests.
+type Config struct {
+	// Seed drives all randomness (keys, scrambling, attack placement).
+	Seed int64
+	// Scale in (0, 1] multiplies sweep axes and trial counts. 0 means 1.
+	Scale float64
+	// MemPages overrides the per-experiment default machine size.
+	MemPages int
+	// KeyBits is the RSA modulus size (default 512; the paper used 1024 —
+	// 512 keeps the arithmetic fast while preserving every behaviour).
+	KeyBits int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = 1
+	}
+	if c.KeyBits == 0 {
+		c.KeyBits = 512
+	}
+}
+
+// scaled shrinks n by the config's scale, with a floor.
+func (c Config) scaled(n, floor int) int {
+	v := int(float64(n) * c.Scale)
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// Rendered is any experiment result that can print itself.
+type Rendered interface {
+	Render() string
+}
+
+// Entry is one catalog row.
+type Entry struct {
+	// ID is the key used by cmd/figures and the benchmarks.
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Figures lists the paper figures the experiment regenerates.
+	Figures []string
+	// Run executes the experiment.
+	Run func(Config) (Rendered, error)
+}
+
+// Catalog returns every experiment, in paper order.
+func Catalog() []Entry {
+	return []Entry{
+		{
+			ID: "fig1", Title: "OpenSSH ext2-leak attack sweep: copies found and success rate",
+			Figures: []string{"1(a)", "1(b)"},
+			Run:     func(c Config) (Rendered, error) { return SweepExt2(c, KindSSH) },
+		},
+		{
+			ID: "fig2", Title: "Apache ext2-leak attack sweep: copies found and success rate",
+			Figures: []string{"2(a)", "2(b)"},
+			Run:     func(c Config) (Rendered, error) { return SweepExt2(c, KindApache) },
+		},
+		{
+			ID: "fig3", Title: "OpenSSH tty-dump attack sweep: copies found and success rate",
+			Figures: []string{"3(a)", "3(b)"},
+			Run:     func(c Config) (Rendered, error) { return SweepTTY(c, KindSSH, false) },
+		},
+		{
+			ID: "fig4", Title: "Apache tty-dump attack sweep: copies found and success rate",
+			Figures: []string{"4(a)", "4(b)"},
+			Run:     func(c Config) (Rendered, error) { return SweepTTY(c, KindApache, false) },
+		},
+		{
+			ID: "fig5", Title: "OpenSSH unprotected timeline: key locations and counts",
+			Figures: []string{"5(a)", "5(b)"},
+			Run:     timelineRunner(KindSSH, levelNone),
+		},
+		{
+			ID: "fig6", Title: "Apache unprotected timeline: key locations and counts",
+			Figures: []string{"6(a)", "6(b)"},
+			Run:     timelineRunner(KindApache, levelNone),
+		},
+		{
+			ID: "fig7", Title: "OpenSSH tty-dump attack before vs after integrated solution",
+			Figures: []string{"7(a)", "7(b)"},
+			Run:     func(c Config) (Rendered, error) { return SweepTTY(c, KindSSH, true) },
+		},
+		{
+			ID: "fig8", Title: "OpenSSH scp performance before vs after integrated solution",
+			Figures: []string{"8"},
+			Run:     func(c Config) (Rendered, error) { return PerfSSH(c) },
+		},
+		{
+			ID: "fig9", Title: "OpenSSH timeline under application-level solution",
+			Figures: []string{"9", "10"},
+			Run:     timelineRunner(KindSSH, levelApp),
+		},
+		{
+			ID: "fig11", Title: "OpenSSH timeline under library-level solution",
+			Figures: []string{"11", "12"},
+			Run:     timelineRunner(KindSSH, levelLibrary),
+		},
+		{
+			ID: "fig13", Title: "OpenSSH timeline under kernel-level solution",
+			Figures: []string{"13", "14"},
+			Run:     timelineRunner(KindSSH, levelKernel),
+		},
+		{
+			ID: "fig15", Title: "OpenSSH timeline under integrated library-kernel solution",
+			Figures: []string{"15", "16"},
+			Run:     timelineRunner(KindSSH, levelIntegrated),
+		},
+		{
+			ID: "fig17", Title: "Apache tty-dump attack before vs after integrated solution",
+			Figures: []string{"17", "18"},
+			Run:     func(c Config) (Rendered, error) { return SweepTTY(c, KindApache, true) },
+		},
+		{
+			ID: "fig19", Title: "Apache siege performance before vs after integrated solution",
+			Figures: []string{"19", "20"},
+			Run:     func(c Config) (Rendered, error) { return PerfApache(c) },
+		},
+		{
+			ID: "fig21", Title: "Apache timeline under application-level solution",
+			Figures: []string{"21", "22"},
+			Run:     timelineRunner(KindApache, levelApp),
+		},
+		{
+			ID: "fig23", Title: "Apache timeline under library-level solution",
+			Figures: []string{"23", "24"},
+			Run:     timelineRunner(KindApache, levelLibrary),
+		},
+		{
+			ID: "fig25", Title: "Apache timeline under kernel-level solution",
+			Figures: []string{"25", "26"},
+			Run:     timelineRunner(KindApache, levelKernel),
+		},
+		{
+			ID: "fig27", Title: "Apache timeline under integrated library-kernel solution",
+			Figures: []string{"27", "28"},
+			Run:     timelineRunner(KindApache, levelIntegrated),
+		},
+		{
+			ID: "ext2-reexam", Title: "ext2-leak attack re-examination under every protection level",
+			Figures: []string{"§5.2/§6.2 text"},
+			Run:     func(c Config) (Rendered, error) { return Ext2Reexam(c) },
+		},
+		{
+			ID: "ablation", Title: "Deallocation-policy ablation: retain vs secure-dealloc vs zero-on-free vs integrated",
+			Figures: []string{"design ablation"},
+			Run:     func(c Config) (Rendered, error) { return AblationDealloc(c) },
+		},
+		{
+			ID: "copymin", Title: "Copy-minimization ingredient ablation: -r, cache flag and alignment separately",
+			Figures: []string{"design ablation"},
+			Run:     func(c Config) (Rendered, error) { return CopyMinAblation(c) },
+		},
+		{
+			ID: "hardware", Title: "Software limit vs special hardware (HSM) under total memory disclosure",
+			Figures: []string{"§7 conclusion"},
+			Run:     func(c Config) (Rendered, error) { return Hardware(c) },
+		},
+		{
+			ID: "lifetime", Title: "Key-copy lifetime analysis across protection levels (Chow et al. metric)",
+			Figures: []string{"related-work analysis"},
+			Run:     func(c Config) (Rendered, error) { return LifetimeAnalysis(c) },
+		},
+		{
+			ID: "swap", Title: "Raw swap-device disclosure: plain vs mlock vs swap encryption",
+			Figures: []string{"§4 swap discussion"},
+			Run:     func(c Config) (Rendered, error) { return SwapSurface(c) },
+		},
+	}
+}
+
+// Run executes the catalog entry with the given ID and returns its rendered
+// text.
+func Run(id string, cfg Config) (string, error) {
+	for _, e := range Catalog() {
+		if e.ID == id {
+			res, err := e.Run(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		}
+	}
+	return "", fmt.Errorf("figures: unknown experiment %q (known: %v)", id, IDs())
+}
+
+// IDs lists the catalog IDs in order.
+func IDs() []string {
+	entries := Catalog()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Lookup returns the entry for an ID.
+func Lookup(id string) (Entry, bool) {
+	for _, e := range Catalog() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

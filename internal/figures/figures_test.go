@@ -1,0 +1,415 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"memshield/internal/protect"
+)
+
+// quick returns a scaled-down config that keeps tests fast while exercising
+// every code path.
+func quick() Config {
+	return Config{Seed: 42, Scale: 0.1, MemPages: 4096}
+}
+
+func TestCatalogIsComplete(t *testing.T) {
+	entries := Catalog()
+	if len(entries) != 24 {
+		t.Fatalf("catalog entries = %d, want 24", len(entries))
+	}
+	seen := make(map[string]bool)
+	covered := make(map[string]bool)
+	for _, e := range entries {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate ID %q", e.ID)
+		}
+		seen[e.ID] = true
+		for _, f := range e.Figures {
+			covered[f] = true
+		}
+	}
+	// Every numbered figure of the paper (1–28) is claimed by an entry.
+	wantFigures := []string{
+		"1(a)", "1(b)", "2(a)", "2(b)", "3(a)", "3(b)", "4(a)", "4(b)",
+		"5(a)", "5(b)", "6(a)", "6(b)", "7(a)", "7(b)", "8",
+		"9", "10", "11", "12", "13", "14", "15", "16",
+		"17", "18", "19", "20", "21", "22", "23", "24", "25", "26", "27", "28",
+	}
+	for _, f := range wantFigures {
+		if !covered[f] {
+			t.Errorf("paper figure %s not covered by any catalog entry", f)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", quick()); err == nil {
+		t.Fatal("unknown ID should error")
+	}
+}
+
+func TestLookupAndIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Catalog()) {
+		t.Fatal("IDs length mismatch")
+	}
+	if _, ok := Lookup("fig8"); !ok {
+		t.Fatal("fig8 should exist")
+	}
+	if _, ok := Lookup("zzz"); ok {
+		t.Fatal("zzz should not exist")
+	}
+}
+
+func TestScaledAndAxis(t *testing.T) {
+	c := Config{Scale: 0.1}
+	c.applyDefaults()
+	if got := c.scaled(100, 5); got != 10 {
+		t.Fatalf("scaled = %d", got)
+	}
+	if got := c.scaled(10, 5); got != 5 {
+		t.Fatalf("floor = %d", got)
+	}
+	axis := scaleAxis([]int{50, 150, 500}, 0.01, 2)
+	if axis[0] != 2 || axis[1] != 3 || axis[2] != 5 {
+		t.Fatalf("axis = %v (must stay distinct)", axis)
+	}
+}
+
+func TestSweepExt2ShapeSSH(t *testing.T) {
+	res, err := SweepExt2(quick(), KindSSH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, nc := len(res.Dirs), len(res.Conns)
+	if nd == 0 || nc == 0 {
+		t.Fatal("empty sweep")
+	}
+	// Shape: more directories never find fewer copies (prefix property),
+	// and the largest cell finds some copies with success ~1.
+	for ci := 0; ci < nc; ci++ {
+		for di := 1; di < nd; di++ {
+			if res.AvgCopies[di][ci] < res.AvgCopies[di-1][ci] {
+				t.Errorf("copies decreased with dirs at conns=%d: %v",
+					res.Conns[ci], res.AvgCopies)
+			}
+		}
+	}
+	if res.AvgCopies[nd-1][nc-1] == 0 {
+		t.Fatal("largest cell found nothing")
+	}
+	if res.SuccessRate[nd-1][nc-1] < 0.9 {
+		t.Fatalf("success rate = %v, want ~1", res.SuccessRate[nd-1][nc-1])
+	}
+	out := res.Render()
+	if !strings.Contains(out, "OpenSSH") || !strings.Contains(out, "success rate") {
+		t.Fatalf("render missing sections:\n%s", out)
+	}
+}
+
+func TestSweepExt2ShapeApache(t *testing.T) {
+	res, err := SweepExt2(quick(), KindApache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, nc := len(res.Dirs), len(res.Conns)
+	if res.AvgCopies[nd-1][nc-1] == 0 {
+		t.Fatal("apache sweep found nothing")
+	}
+	if !strings.Contains(res.Render(), "Apache") {
+		t.Fatal("render missing server name")
+	}
+}
+
+func TestSweepTTYShape(t *testing.T) {
+	res, err := SweepTTY(quick(), KindSSH, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 1 || res.Levels[0] != protect.LevelNone {
+		t.Fatalf("levels = %v", res.Levels)
+	}
+	n := len(res.Conns)
+	// Copies grow with connections (last point well above the zero point).
+	if res.AvgCopies[0][n-1] <= res.AvgCopies[0][0] {
+		t.Fatalf("copies did not grow: %v", res.AvgCopies[0])
+	}
+	// Busy server: attack nearly always succeeds.
+	if res.SuccessRate[0][n-1] < 0.9 {
+		t.Fatalf("success at max conns = %v", res.SuccessRate[0][n-1])
+	}
+	if !strings.Contains(res.Render(), "tty-dump") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestSweepTTYBeforeAfter(t *testing.T) {
+	res, err := SweepTTY(quick(), KindSSH, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 2 || res.Levels[1] != protect.LevelIntegrated {
+		t.Fatalf("levels = %v", res.Levels)
+	}
+	n := len(res.Conns)
+	// After: copies collapse to ~fraction of the 3 aligned parts...
+	if res.AvgCopies[1][n-1] > 3 {
+		t.Fatalf("integrated copies = %v, want <= 3", res.AvgCopies[1][n-1])
+	}
+	// ...and are far below before.
+	if res.AvgCopies[1][n-1] >= res.AvgCopies[0][n-1]/2 {
+		t.Fatalf("integrated (%v) not well below unprotected (%v)",
+			res.AvgCopies[1][n-1], res.AvgCopies[0][n-1])
+	}
+	// Success rate drops to roughly the disclosed fraction, never to 0.
+	after := res.SuccessRate[1][n-1]
+	if after < 0.2 || after > 0.8 {
+		t.Fatalf("integrated success = %v, want ~0.5 (residual risk)", after)
+	}
+}
+
+func TestTimelineFigureRenders(t *testing.T) {
+	res, err := Timeline(quick(), KindSSH, protect.LevelNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, want := range []string{"OpenSSH", "Locations of key copies", "allocated", "tick", "> t"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Unprotected timeline scatter must contain both symbols.
+	if !strings.Contains(out, "x") || !strings.Contains(out, "+") {
+		t.Fatal("scatter missing symbols")
+	}
+}
+
+func TestPerfSSHNoPenalty(t *testing.T) {
+	res, err := PerfSSH(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.After.PagesZeroed == 0 {
+		t.Fatal("integrated run should zero pages")
+	}
+	rel := (res.Before.TransactionRate - res.After.TransactionRate) / res.Before.TransactionRate
+	if rel > 0.01 || rel < -0.01 {
+		t.Fatalf("penalty = %.3f%%, want none", rel*100)
+	}
+	if !strings.Contains(res.Render(), "transaction rate") {
+		t.Fatal("render missing metrics")
+	}
+}
+
+func TestPerfApacheNoPenalty(t *testing.T) {
+	res, err := PerfApache(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := (res.Before.TransactionRate - res.After.TransactionRate) / res.Before.TransactionRate
+	if rel > 0.01 || rel < -0.01 {
+		t.Fatalf("penalty = %.3f%%, want none", rel*100)
+	}
+	if res.Before.ResponseTimeSec <= 0 {
+		t.Fatal("missing response time")
+	}
+}
+
+func TestExt2ReexamShape(t *testing.T) {
+	res, err := Ext2Reexam(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*len(protect.All()) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		switch row.Level {
+		case protect.LevelNone:
+			if row.AvgCopies == 0 {
+				t.Errorf("%v/none: attack should find copies", row.Kind)
+			}
+		default:
+			// Every solution defeats the ext2 attack in these runs (the
+			// paper: "in no case were we able to recover any portion").
+			if row.SuccessRate != 0 {
+				t.Errorf("%v/%v: success = %v, want 0", row.Kind, row.Level, row.SuccessRate)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "re-examination") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	res, err := AblationDealloc(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLevel := make(map[protect.Level]AblationRow)
+	for _, row := range res.Rows {
+		byLevel[row.Level] = row
+	}
+	none := byLevel[protect.LevelNone]
+	sd := byLevel[protect.LevelSecureDealloc]
+	kern := byLevel[protect.LevelKernel]
+	integ := byLevel[protect.LevelIntegrated]
+	// Baseline has ghosts; both zeroing policies kill them.
+	if none.LiveUnallocated == 0 {
+		t.Fatal("baseline should have unallocated copies")
+	}
+	if sd.LiveUnallocated != 0 || kern.LiveUnallocated != 0 {
+		t.Fatalf("zeroing policies left ghosts: sd=%d kern=%d",
+			sd.LiveUnallocated, kern.LiveUnallocated)
+	}
+	// But they keep the allocated flood; integrated also removes that.
+	if sd.LiveAllocated <= integ.LiveAllocated || kern.LiveAllocated <= integ.LiveAllocated {
+		t.Fatalf("integrated (%d) should dominate sd (%d) and kernel (%d)",
+			integ.LiveAllocated, sd.LiveAllocated, kern.LiveAllocated)
+	}
+	// Attack yield ordering: none >= sd/kern > integrated.
+	if integ.AvgCopies >= kern.AvgCopies {
+		t.Fatalf("integrated attack yield %v should be below kernel %v",
+			integ.AvgCopies, kern.AvgCopies)
+	}
+	if !strings.Contains(res.Render(), "ablation") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestRunByIDSmoke(t *testing.T) {
+	// Cheap entries run end-to-end through the catalog dispatcher.
+	for _, id := range []string{"fig5", "fig15", "fig27"} {
+		out, err := Run(id, quick())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(out) == 0 {
+			t.Fatalf("%s: empty output", id)
+		}
+	}
+}
+
+func TestHardwareShape(t *testing.T) {
+	res, err := Hardware(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	software, hardware := res.Rows[0], res.Rows[1]
+	// The integrated software solution keeps one copy and loses the full
+	// dump; the HSM holds zero copies and loses nothing.
+	if software.CopiesInRAM != 3 || !software.FullDumpSuccess {
+		t.Fatalf("software row = %+v", software)
+	}
+	if software.HalfDumpRate < 0.2 || software.HalfDumpRate > 0.8 {
+		t.Fatalf("software half-dump rate = %v, want ~0.5", software.HalfDumpRate)
+	}
+	if hardware.CopiesInRAM != 0 || hardware.FullDumpSuccess || hardware.HalfDumpRate != 0 {
+		t.Fatalf("hardware row = %+v, want total immunity", hardware)
+	}
+	if !strings.Contains(res.Render(), "hardware") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestCopyMinShape(t *testing.T) {
+	res, err := CopyMinAblation(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	unpatched, ronly, cacheOff, aligned := res.Rows[0], res.Rows[1], res.Rows[2], res.Rows[3]
+	// Every partial configuration still grows per connection; only the
+	// aligned one is flat and mlocked.
+	for _, row := range []CopyMinRow{unpatched, ronly, cacheOff} {
+		if row.PerConn <= 0 {
+			t.Errorf("%s: per-conn growth = %v, want > 0", row.Name, row.PerConn)
+		}
+		if row.Mlocked {
+			t.Errorf("%s: should not be mlocked", row.Name)
+		}
+	}
+	if aligned.PerConn != 0 {
+		t.Fatalf("aligned growth = %v, want 0", aligned.PerConn)
+	}
+	if !aligned.Mlocked {
+		t.Fatal("aligned key must be mlocked")
+	}
+	// Cache-off grows strictly less than cache-on (-r only).
+	if cacheOff.PerConn >= ronly.PerConn {
+		t.Fatalf("cache-off growth %v should be below -r-only %v", cacheOff.PerConn, ronly.PerConn)
+	}
+	if !strings.Contains(res.Render(), "ingredient") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestLifetimeAnalysisShape(t *testing.T) {
+	res, err := LifetimeAnalysis(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byLevel := make(map[protect.Level]*LifetimeRow)
+	for i := range res.Rows {
+		byLevel[res.Rows[i].Level] = &res.Rows[i]
+	}
+	none := byLevel[protect.LevelNone]
+	integ := byLevel[protect.LevelIntegrated]
+	if none.Stats.ExposedCopies == 0 {
+		t.Fatal("baseline must expose copies")
+	}
+	if integ.Stats.ExposedCopies != 0 {
+		t.Fatal("integrated must expose nothing")
+	}
+	if integ.Stats.TotalCopies != 3 {
+		t.Fatalf("integrated copies = %d, want 3", integ.Stats.TotalCopies)
+	}
+	if !strings.Contains(res.Render(), "lifetime") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestSwapSurfaceShape(t *testing.T) {
+	res, err := SwapSurface(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	plain, mlocked, encrypted := res.Rows[0], res.Rows[1], res.Rows[2]
+	if !plain.AttackWins {
+		t.Fatal("plain swap should expose the key")
+	}
+	if mlocked.AttackWins {
+		t.Fatal("mlocked key must never reach swap")
+	}
+	if encrypted.AttackWins {
+		t.Fatal("encrypted swap must hide the key")
+	}
+	for _, row := range res.Rows {
+		if !row.KeyReadable {
+			t.Fatalf("%s: key must remain usable", row.Name)
+		}
+		if row.Evicted == 0 {
+			t.Fatalf("%s: pressure should evict something", row.Name)
+		}
+	}
+	if !strings.Contains(res.Render(), "swap-device") {
+		t.Fatal("render missing title")
+	}
+}

@@ -1,0 +1,101 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"memshield/internal/mem"
+	"memshield/internal/protect"
+	"memshield/internal/report"
+	"memshield/internal/sim"
+)
+
+// TimelineFigure wraps a timeline run with the two renderings the paper
+// uses: the location-versus-time scatter ('x' = copy in allocated memory,
+// '+' = copy in unallocated memory) and the per-tick copy-count table split
+// into allocated/unallocated.
+type TimelineFigure struct {
+	Kind   ServerKind
+	Level  protect.Level
+	Result *sim.Result
+}
+
+// Timeline runs the 29-tick schedule for one server kind and protection
+// level.
+func Timeline(cfg Config, kind ServerKind, level protect.Level) (*TimelineFigure, error) {
+	cfg.applyDefaults()
+	memPages := cfg.MemPages
+	if memPages == 0 {
+		memPages = 8192
+	}
+	res, err := sim.Run(sim.Config{
+		Kind:     kind,
+		Level:    level,
+		MemPages: memPages,
+		KeyBits:  cfg.KeyBits,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TimelineFigure{Kind: kind, Level: level, Result: res}, nil
+}
+
+// Render prints the scatter plot and the count table.
+func (t *TimelineFigure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s timeline, protection level: %s\n", displayName(t.Kind), t.Level)
+	b.WriteString(t.renderScatter())
+	b.WriteByte('\n')
+	b.WriteString(t.renderCounts())
+	return b.String()
+}
+
+// renderScatter is the paper's "Locations Of Private RSA Keys In Memory
+// Versus Time" plot.
+func (t *TimelineFigure) renderScatter() string {
+	memBytes := float64(t.Result.MemPages) * mem.PageSize
+	var points []report.ScatterPoint
+	maxTick := 0
+	for _, s := range t.Result.Samples {
+		if s.Tick > maxTick {
+			maxTick = s.Tick
+		}
+		for _, m := range s.Matches {
+			sym := '+'
+			if m.Allocated {
+				sym = 'x'
+			}
+			points = append(points, report.ScatterPoint{
+				X:      s.Tick,
+				Y:      float64(m.Addr) / memBytes,
+				Symbol: sym,
+			})
+		}
+	}
+	return report.RenderScatter(
+		"Locations of key copies in memory versus time ('x' allocated, '+' unallocated, '*' both)",
+		maxTick, 16, points, "physical memory ^")
+}
+
+// renderCounts is the paper's "Number Of Private RSA Key Matches In Memory
+// Versus Time" bar data as a table.
+func (t *TimelineFigure) renderCounts() string {
+	headers := []string{"tick", "total", "allocated", "unallocated", "conns", "server"}
+	rows := make([][]string, 0, len(t.Result.Samples))
+	for _, s := range t.Result.Samples {
+		state := "down"
+		if s.ServerRunning {
+			state = "up"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", s.Tick),
+			fmt.Sprintf("%d", s.Summary.Total),
+			fmt.Sprintf("%d", s.Summary.Allocated),
+			fmt.Sprintf("%d", s.Summary.Unallocated),
+			fmt.Sprintf("%d", s.Conns),
+			state,
+		})
+	}
+	return report.RenderTable("Key copies in memory per tick", headers, rows)
+}

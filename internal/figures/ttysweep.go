@@ -1,0 +1,111 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"memshield/internal/attack/ttyleak"
+	"memshield/internal/protect"
+	"memshield/internal/report"
+	"memshield/internal/stats"
+)
+
+// TTY sweep defaults (the paper's Figure 3/4/7/17 axes and trial count).
+var defaultTTYConns = []int{0, 20, 40, 60, 80, 100, 120}
+
+const (
+	defaultTTYTrials   = 20
+	defaultTTYMemPages = 8192 // 32 MiB: 120 concurrent children fit easily
+)
+
+// TTYSweep is the result of the tty-dump attack sweep: per connection
+// count, the average number of key copies recovered and the attack success
+// rate, for one or two protection levels (before/after figures).
+type TTYSweep struct {
+	Kind   ServerKind
+	Levels []protect.Level
+	Conns  []int
+	Trials int
+	// AvgCopies[levelIdx][connIdx], SuccessRate[levelIdx][connIdx].
+	AvgCopies   [][]float64
+	SuccessRate [][]float64
+}
+
+// SweepTTY runs the tty memory-dump attack sweep. With beforeAfter=false it
+// reproduces Figures 3/4 (unprotected only); with beforeAfter=true it
+// reproduces Figures 7/17–18, comparing the unprotected system against the
+// integrated library–kernel solution. For each connection count a machine
+// is loaded with that many live connections and attacked Trials times with
+// independently placed dumps.
+func SweepTTY(cfg Config, kind ServerKind, beforeAfter bool) (*TTYSweep, error) {
+	cfg.applyDefaults()
+	memPages := cfg.MemPages
+	if memPages == 0 {
+		memPages = defaultTTYMemPages
+	}
+	conns := scaleAxis(defaultTTYConns, cfg.Scale, 0)
+	conns[0] = 0 // the zero point is part of the paper's axis
+	trials := cfg.scaled(defaultTTYTrials, 4)
+
+	levels := []protect.Level{levelNone}
+	if beforeAfter {
+		levels = append(levels, levelIntegrated)
+	}
+	res := &TTYSweep{Kind: kind, Levels: levels, Conns: conns, Trials: trials}
+	for li, level := range levels {
+		avg := make([]float64, len(conns))
+		rate := make([]float64, len(conns))
+		for ci, c := range conns {
+			seed := cfg.Seed + int64(li*10000+ci*100)
+			ls, err := buildLoadedServer(kind, level, memPages, cfg.KeyBits, c, seed)
+			if err != nil {
+				return nil, fmt.Errorf("figures: tty sweep %v conns=%d: %w", level, c, err)
+			}
+			copies := make([]float64, 0, trials)
+			hits := 0
+			rng := stats.NewRand(seed + 7)
+			for trial := 0; trial < trials; trial++ {
+				attack, err := ttyleak.Run(ls.k, ls.patterns, rng, ttyleak.Config{})
+				if err != nil {
+					return nil, fmt.Errorf("figures: tty sweep: %w", err)
+				}
+				copies = append(copies, float64(attack.Summary.Total))
+				if attack.Success {
+					hits++
+				}
+			}
+			avg[ci] = stats.Mean(copies)
+			rate[ci] = stats.Rate(hits, trials)
+		}
+		res.AvgCopies = append(res.AvgCopies, avg)
+		res.SuccessRate = append(res.SuccessRate, rate)
+	}
+	return res, nil
+}
+
+// Render prints one table row set per level: copies found and success rate
+// versus total connections — the paper's (a) and (b) sub-figures.
+func (r *TTYSweep) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s tty-dump attack (avg over %d trials, ~50%% of memory disclosed per dump)\n",
+		displayName(r.Kind), r.Trials)
+	headers := []string{"level"}
+	for _, c := range r.Conns {
+		headers = append(headers, fmt.Sprintf("%d", c))
+	}
+	var copyRows, rateRows [][]string
+	for li, level := range r.Levels {
+		crow := []string{level.String()}
+		rrow := []string{level.String()}
+		for ci := range r.Conns {
+			crow = append(crow, report.Float(r.AvgCopies[li][ci], 2))
+			rrow = append(rrow, report.Float(r.SuccessRate[li][ci], 2))
+		}
+		copyRows = append(copyRows, crow)
+		rateRows = append(rateRows, rrow)
+	}
+	b.WriteString(report.RenderTable("Average private keys found per run (columns: total connections)", headers, copyRows))
+	b.WriteString("\n")
+	b.WriteString(report.RenderTable("Attack success rate (columns: total connections)", headers, rateRows))
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package hsm
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"memshield/internal/crypto/rsakey"
+	"memshield/internal/stats"
+)
+
+func testKey(t *testing.T) *rsakey.PrivateKey {
+	t.Helper()
+	key, err := rsakey.Generate(stats.NewReader(44), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestImportAndPrivateOp(t *testing.T) {
+	m := New()
+	key := testKey(t)
+	slot, err := m.Import(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Slots() != 1 {
+		t.Fatal("Slots wrong")
+	}
+	msg := []byte("device-op-input")
+	sig, err := m.PrivateOp(slot, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := m.PublicKey(slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Verify(msg, sig); err != nil {
+		t.Fatal("device signature must verify")
+	}
+	if m.Ops() != 1 {
+		t.Fatal("Ops counter wrong")
+	}
+}
+
+func TestImportPEM(t *testing.T) {
+	m := New()
+	key := testKey(t)
+	slot, err := m.ImportPEM(key.MarshalPEM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := m.PublicKey(slot)
+	if err != nil || pub.N.Cmp(key.N) != 0 {
+		t.Fatal("imported key mismatch")
+	}
+	if _, err := m.ImportPEM([]byte("garbage")); err == nil {
+		t.Fatal("garbage PEM should fail")
+	}
+}
+
+func TestImportValidates(t *testing.T) {
+	m := New()
+	if _, err := m.Import(nil); err == nil {
+		t.Fatal("nil key should fail")
+	}
+	bad := *testKey(t)
+	bad.P = new(big.Int).Add(bad.P, big.NewInt(2))
+	if _, err := m.Import(&bad); err == nil {
+		t.Fatal("inconsistent key should fail")
+	}
+}
+
+func TestDestroy(t *testing.T) {
+	m := New()
+	slot, err := m.Import(testKey(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Destroy(slot); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PrivateOp(slot, []byte("x")); !errors.Is(err, ErrNoSlot) {
+		t.Fatalf("op on destroyed slot = %v", err)
+	}
+	if err := m.Destroy(slot); !errors.Is(err, ErrNoSlot) {
+		t.Fatalf("double destroy = %v", err)
+	}
+	if _, err := m.PublicKey(99); !errors.Is(err, ErrNoSlot) {
+		t.Fatalf("public key of bad slot = %v", err)
+	}
+}
+
+func TestSlotHandle(t *testing.T) {
+	m := New()
+	key := testKey(t)
+	id, err := m.Import(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Slot{Module: m, ID: id}
+	msg := []byte("handle-op")
+	sig, err := s.PrivateOp(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := s.PublicKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Verify(msg, sig); err != nil {
+		t.Fatal("slot handle signature must verify")
+	}
+}

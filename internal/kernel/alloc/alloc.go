@@ -1,0 +1,397 @@
+// Package alloc implements the simulated kernel's physical page allocator.
+//
+// It is a classic buddy allocator over the frames of a mem.Memory, with one
+// deliberate property inherited from real kernels: pages are handed out
+// WITHOUT being zeroed, and by default they are freed without being zeroed
+// either. Freed pages therefore retain their previous contents on the free
+// lists — which is precisely the behaviour the paper's memory disclosure
+// attacks exploit, and which the paper's kernel-level countermeasure (zeroing
+// in free_hot_cold_page via clear_highpage) removes.
+//
+// Three deallocation policies are supported:
+//
+//   - PolicyRetain: the unpatched kernel. Freed pages keep their contents.
+//   - PolicyZeroOnFree: the paper's kernel patch. Pages are cleared
+//     synchronously as they enter the free lists.
+//   - PolicySecureDealloc: the Chow et al. baseline ("Shredding your
+//     garbage"), where clearing happens within a short, predictable period
+//     after deallocation. Modelled as deferred zeroing drained by Tick.
+//
+// Free lists are LIFO, so a freshly freed (still key-laden) page is the next
+// one handed to, say, the attacker's mkdir — matching the locality that made
+// the ext2 leak so effective.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+
+	"memshield/internal/mem"
+	"memshield/internal/trace"
+)
+
+// Policy selects what happens to page contents at deallocation time.
+type Policy int
+
+// Deallocation policies.
+const (
+	// PolicyRetain leaves freed page contents intact (unpatched kernel).
+	PolicyRetain Policy = iota + 1
+	// PolicyZeroOnFree clears pages synchronously on free (paper's patch).
+	PolicyZeroOnFree
+	// PolicySecureDealloc clears pages a short, predictable period after
+	// free (Chow et al. baseline); drained by Tick.
+	PolicySecureDealloc
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyRetain:
+		return "retain"
+	case PolicyZeroOnFree:
+		return "zero-on-free"
+	case PolicySecureDealloc:
+		return "secure-dealloc"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// MaxOrder is the largest block order supported (2^10 pages = 4 MiB blocks),
+// matching Linux's MAX_ORDER-1 = 10.
+const MaxOrder = 10
+
+// ErrOutOfMemory is returned when no block of the requested order (or any
+// larger, splittable order) is free.
+var ErrOutOfMemory = errors.New("alloc: out of memory")
+
+// Stats aggregates allocator activity counters.
+type Stats struct {
+	Allocs      int // successful allocations (blocks)
+	Frees       int // successful frees (blocks)
+	PagesZeroed int // pages cleared by the dealloc policy
+	Splits      int // buddy splits performed
+	Merges      int // buddy merges performed
+}
+
+// Allocator is a buddy allocator over the frames of one Memory.
+type Allocator struct {
+	mem    *mem.Memory
+	policy Policy
+
+	// free[o] is a LIFO stack of free block heads of order o.
+	free [MaxOrder + 1][]mem.PageNum
+	// freeIdx maps a free block head to its order, for O(1) buddy lookup
+	// and membership checks during merge.
+	freeIdx map[mem.PageNum]int
+	// freePos maps a free block head to its index within its order's
+	// stack, making removal O(1). Removal swaps with the stack's last
+	// element, which slightly perturbs pop order relative to a strict
+	// LIFO — an acceptable (and deterministic) trade for making the
+	// free-list mixing used by experiments linear instead of quadratic.
+	freePos map[mem.PageNum]int
+	// allocated maps an allocated block head to its order, so Free does
+	// not need the caller to remember the size.
+	allocated map[mem.PageNum]int
+
+	// deferredZero holds pages awaiting clearing under PolicySecureDealloc.
+	deferredZero []mem.PageNum
+
+	// sink receives allocator events when tracing is enabled (nil = off).
+	sink trace.Sink
+
+	stats Stats
+}
+
+// SetSink attaches (or detaches, with nil) an event sink.
+func (a *Allocator) SetSink(s trace.Sink) { a.sink = s }
+
+// emit sends an event to the sink if tracing is on.
+func (a *Allocator) emit(kind trace.Kind, pn mem.PageNum, aux int) {
+	if a.sink != nil {
+		a.sink.Emit(trace.Event{Kind: kind, Page: pn, Aux: aux})
+	}
+}
+
+// New creates an allocator managing every frame of m, with all memory free.
+func New(m *mem.Memory, policy Policy) (*Allocator, error) {
+	switch policy {
+	case PolicyRetain, PolicyZeroOnFree, PolicySecureDealloc:
+	default:
+		return nil, fmt.Errorf("alloc: unknown policy %d", int(policy))
+	}
+	a := &Allocator{
+		mem:       m,
+		policy:    policy,
+		freeIdx:   make(map[mem.PageNum]int),
+		freePos:   make(map[mem.PageNum]int),
+		allocated: make(map[mem.PageNum]int),
+	}
+	a.seedFreeLists()
+	return a, nil
+}
+
+// seedFreeLists covers [0, NumPages) with the largest aligned buddy blocks.
+func (a *Allocator) seedFreeLists() {
+	n := mem.PageNum(a.mem.NumPages())
+	var pn mem.PageNum
+	for pn < n {
+		order := MaxOrder
+		for order > 0 {
+			size := mem.PageNum(1) << order
+			if pn%size == 0 && pn+size <= n {
+				break
+			}
+			order--
+		}
+		a.pushFree(pn, order)
+		pn += mem.PageNum(1) << order
+	}
+}
+
+func (a *Allocator) pushFree(pn mem.PageNum, order int) {
+	a.freePos[pn] = len(a.free[order])
+	a.free[order] = append(a.free[order], pn)
+	a.freeIdx[pn] = order
+}
+
+// removeFree removes the specific block head pn from the order's free stack
+// in O(1) by swapping it with the stack's last element.
+func (a *Allocator) removeFree(pn mem.PageNum, order int) {
+	pos, ok := a.freePos[pn]
+	if !ok {
+		return
+	}
+	stack := a.free[order]
+	last := len(stack) - 1
+	if pos != last {
+		moved := stack[last]
+		stack[pos] = moved
+		a.freePos[moved] = pos
+	}
+	a.free[order] = stack[:last]
+	delete(a.freeIdx, pn)
+	delete(a.freePos, pn)
+}
+
+// Policy returns the active deallocation policy.
+func (a *Allocator) Policy() Policy { return a.policy }
+
+// SetPolicy changes the deallocation policy. Changing away from
+// PolicySecureDealloc drains any pending deferred zeroing immediately, so no
+// page silently escapes clearing.
+func (a *Allocator) SetPolicy(p Policy) error {
+	switch p {
+	case PolicyRetain, PolicyZeroOnFree, PolicySecureDealloc:
+	default:
+		return fmt.Errorf("alloc: unknown policy %d", int(p))
+	}
+	if a.policy == PolicySecureDealloc && p != PolicySecureDealloc {
+		a.Tick()
+	}
+	a.policy = p
+	return nil
+}
+
+// Stats returns a snapshot of the activity counters.
+func (a *Allocator) Stats() Stats { return a.stats }
+
+// FreePages returns the number of individual pages currently free.
+func (a *Allocator) FreePages() int {
+	total := 0
+	for order, stack := range a.free {
+		total += len(stack) << order
+	}
+	return total
+}
+
+// AllocPages allocates a block of 2^order contiguous pages for the given
+// owner and returns its head frame number. The block's contents are NOT
+// zeroed (matching __get_free_pages without __GFP_ZERO).
+func (a *Allocator) AllocPages(order int, owner mem.Owner) (mem.PageNum, error) {
+	if order < 0 || order > MaxOrder {
+		return 0, fmt.Errorf("alloc: order %d out of range [0,%d]", order, MaxOrder)
+	}
+	// Find the smallest order >= requested with a free block.
+	from := order
+	for from <= MaxOrder && len(a.free[from]) == 0 {
+		from++
+	}
+	if from > MaxOrder {
+		return 0, fmt.Errorf("%w: no free block of order >= %d", ErrOutOfMemory, order)
+	}
+	// Pop LIFO.
+	stack := a.free[from]
+	pn := stack[len(stack)-1]
+	a.free[from] = stack[:len(stack)-1]
+	delete(a.freeIdx, pn)
+	delete(a.freePos, pn)
+	// Split down to the requested order, pushing upper halves back.
+	for from > order {
+		from--
+		buddy := pn + (mem.PageNum(1) << from)
+		a.pushFree(buddy, from)
+		a.stats.Splits++
+	}
+	a.allocated[pn] = order
+	size := mem.PageNum(1) << order
+	for p := pn; p < pn+size; p++ {
+		f := a.mem.Frame(p)
+		f.State = mem.FrameAllocated
+		f.Owner = owner
+		f.RefCount = 1
+		f.Locked = false
+		f.ClearMappers()
+	}
+	a.stats.Allocs++
+	a.emit(trace.EvAlloc, pn, order)
+	return pn, nil
+}
+
+// AllocPage allocates a single page (order 0).
+func (a *Allocator) AllocPage(owner mem.Owner) (mem.PageNum, error) {
+	return a.AllocPages(0, owner)
+}
+
+// BlockOrder returns the order of the allocated block headed by pn, or an
+// error if pn is not an allocated block head.
+func (a *Allocator) BlockOrder(pn mem.PageNum) (int, error) {
+	order, ok := a.allocated[pn]
+	if !ok {
+		return 0, fmt.Errorf("alloc: page %d is not an allocated block head", pn)
+	}
+	return order, nil
+}
+
+// Free returns the block headed by pn to the free lists, applying the
+// deallocation policy to its contents and merging buddies where possible.
+// Freeing a non-head or already-free page is an error (double free).
+func (a *Allocator) Free(pn mem.PageNum) error {
+	order, ok := a.allocated[pn]
+	if !ok {
+		return fmt.Errorf("alloc: free of page %d which is not an allocated block head", pn)
+	}
+	delete(a.allocated, pn)
+	size := mem.PageNum(1) << order
+	for p := pn; p < pn+size; p++ {
+		f := a.mem.Frame(p)
+		f.State = mem.FrameFree
+		f.Owner = mem.OwnerNone
+		f.RefCount = 0
+		f.Locked = false
+		f.ClearMappers()
+	}
+	switch a.policy {
+	case PolicyZeroOnFree:
+		for p := pn; p < pn+size; p++ {
+			if err := a.mem.ZeroPage(p); err != nil {
+				return fmt.Errorf("alloc: zero on free: %w", err)
+			}
+			a.stats.PagesZeroed++
+			a.emit(trace.EvZero, p, 0)
+		}
+	case PolicySecureDealloc:
+		for p := pn; p < pn+size; p++ {
+			a.deferredZero = append(a.deferredZero, p)
+		}
+	}
+	a.stats.Frees++
+	a.emit(trace.EvFree, pn, order)
+	a.insertAndMerge(pn, order)
+	return nil
+}
+
+// insertAndMerge puts a free block on the lists, coalescing with its buddy
+// repeatedly while possible.
+func (a *Allocator) insertAndMerge(pn mem.PageNum, order int) {
+	for order < MaxOrder {
+		buddy := pn ^ (mem.PageNum(1) << order)
+		if bOrder, ok := a.freeIdx[buddy]; !ok || bOrder != order {
+			break
+		}
+		if int(buddy)+(1<<order) > a.mem.NumPages() {
+			break
+		}
+		a.removeFree(buddy, order)
+		if buddy < pn {
+			pn = buddy
+		}
+		order++
+		a.stats.Merges++
+	}
+	a.pushFree(pn, order)
+}
+
+// Tick drains the secure-dealloc deferred-zeroing queue: every page freed
+// before this call is cleared now, unless it has already been reallocated
+// (a reallocated page belongs to its new owner and must not be clobbered;
+// its stale content was exposed only during the deferral window, which is
+// exactly the window Chow et al.'s design accepts).
+func (a *Allocator) Tick() {
+	for _, pn := range a.deferredZero {
+		if a.mem.Frame(pn).State != mem.FrameFree {
+			continue
+		}
+		if err := a.mem.ZeroPage(pn); err == nil {
+			a.stats.PagesZeroed++
+			a.emit(trace.EvZero, pn, 0)
+		}
+	}
+	a.deferredZero = a.deferredZero[:0]
+}
+
+// PendingZero reports how many pages await deferred zeroing.
+func (a *Allocator) PendingZero() int { return len(a.deferredZero) }
+
+// CheckConsistency validates allocator invariants, returning the first
+// violation found. It is intended for tests and property checks:
+//
+//  1. Every frame is either inside exactly one free block or exactly one
+//     allocated block (full, non-overlapping coverage).
+//  2. Free-list entries agree with freeIdx and frame states.
+//  3. Under PolicyZeroOnFree, every free page is all-zero.
+func (a *Allocator) CheckConsistency() error {
+	covered := make([]int, a.mem.NumPages())
+	for order, stack := range a.free {
+		for _, head := range stack {
+			if got, ok := a.freeIdx[head]; !ok || got != order {
+				return fmt.Errorf("free block %d order %d missing from index", head, order)
+			}
+			for p := head; p < head+(mem.PageNum(1)<<order); p++ {
+				if int(p) >= len(covered) {
+					return fmt.Errorf("free block %d order %d exceeds memory", head, order)
+				}
+				covered[p]++
+				if a.mem.Frame(p).State != mem.FrameFree {
+					return fmt.Errorf("page %d on free list but state %v", p, a.mem.Frame(p).State)
+				}
+			}
+		}
+	}
+	for head, order := range a.allocated {
+		for p := head; p < head+(mem.PageNum(1)<<order); p++ {
+			if int(p) >= len(covered) {
+				return fmt.Errorf("allocated block %d order %d exceeds memory", head, order)
+			}
+			covered[p]++
+			if a.mem.Frame(p).State != mem.FrameAllocated {
+				return fmt.Errorf("page %d allocated but state %v", p, a.mem.Frame(p).State)
+			}
+		}
+	}
+	for p, c := range covered {
+		if c != 1 {
+			return fmt.Errorf("page %d covered %d times, want exactly 1", p, c)
+		}
+	}
+	if a.policy == PolicyZeroOnFree {
+		for head, order := range a.freeIdx {
+			for p := head; p < head+(mem.PageNum(1)<<order); p++ {
+				if !a.mem.PageIsZero(p) {
+					return fmt.Errorf("zero-on-free violated: free page %d is dirty", p)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+// Package proc implements the simulated process table: PID assignment,
+// parent/child relationships, and process lifecycle. The scanner uses it to
+// attribute key-holding pages to live processes, mirroring the paper's LKM
+// walking for_each_process over the anon-VMA reverse map.
+package proc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// State is the lifecycle state of a process.
+type State int
+
+// Process states.
+const (
+	StateRunning State = iota + 1
+	StateZombie
+)
+
+func (s State) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateZombie:
+		return "zombie"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// ErrNoProcess is returned for operations on unknown PIDs.
+var ErrNoProcess = errors.New("proc: no such process")
+
+// Process is one simulated process.
+type Process struct {
+	PID   int
+	PPID  int
+	Name  string
+	State State
+}
+
+// Table is the machine's process table. PID 0 is reserved for the kernel
+// itself and never appears in the table.
+type Table struct {
+	procs   map[int]*Process
+	nextPID int
+}
+
+// NewTable creates an empty process table. PIDs start at 1 (init).
+func NewTable() *Table {
+	return &Table{procs: make(map[int]*Process), nextPID: 1}
+}
+
+// Create adds a new running process with the given parent and name,
+// returning it with a fresh PID.
+func (t *Table) Create(ppid int, name string) *Process {
+	p := &Process{PID: t.nextPID, PPID: ppid, Name: name, State: StateRunning}
+	t.nextPID++
+	t.procs[p.PID] = p
+	return p
+}
+
+// Get returns the process with the given PID.
+func (t *Table) Get(pid int) (*Process, error) {
+	p, ok := t.procs[pid]
+	if !ok {
+		return nil, fmt.Errorf("%w: pid %d", ErrNoProcess, pid)
+	}
+	return p, nil
+}
+
+// Exists reports whether the PID names a process (running or zombie).
+func (t *Table) Exists(pid int) bool {
+	_, ok := t.procs[pid]
+	return ok
+}
+
+// Exit marks a running process as a zombie. Its children are re-parented to
+// the exiting process's parent (a simplification of re-parenting to init).
+func (t *Table) Exit(pid int) error {
+	p, err := t.Get(pid)
+	if err != nil {
+		return err
+	}
+	if p.State == StateZombie {
+		return fmt.Errorf("proc: pid %d already exited", pid)
+	}
+	p.State = StateZombie
+	for _, c := range t.procs {
+		if c.PPID == pid {
+			c.PPID = p.PPID
+		}
+	}
+	return nil
+}
+
+// Reap removes a zombie from the table.
+func (t *Table) Reap(pid int) error {
+	p, err := t.Get(pid)
+	if err != nil {
+		return err
+	}
+	if p.State != StateZombie {
+		return fmt.Errorf("proc: reap of running pid %d", pid)
+	}
+	delete(t.procs, pid)
+	return nil
+}
+
+// Children returns the PIDs whose parent is pid, sorted ascending.
+func (t *Table) Children(pid int) []int {
+	var out []int
+	for _, p := range t.procs {
+		if p.PPID == pid {
+			out = append(out, p.PID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Live returns the PIDs of all running processes, sorted ascending.
+func (t *Table) Live() []int {
+	var out []int
+	for _, p := range t.procs {
+		if p.State == StateRunning {
+			out = append(out, p.PID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Count returns the number of table entries (running + zombie).
+func (t *Table) Count() int { return len(t.procs) }

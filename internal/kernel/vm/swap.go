@@ -1,0 +1,142 @@
+package vm
+
+import (
+	"fmt"
+
+	"memshield/internal/mem"
+)
+
+// SwapArea models the machine's swap device: a slot-per-page store that, on
+// an unpatched system, retains page contents after they are released —
+// making it one more disclosure surface. With encryption enabled (Provos,
+// "Encrypting virtual memory"), slot contents are scrambled with a per-slot
+// keystream so that raw key-material patterns never appear on the device.
+//
+// The keystream is a toy xorshift generator, NOT real cryptography: the
+// property under test is "the plaintext byte pattern is absent from the
+// swap device", which any keyed stream provides deterministically.
+type SwapArea struct {
+	data      []byte
+	slotUsed  []bool
+	encrypt   bool
+	slotSeeds []uint64
+	nextSeed  uint64
+	stores    int
+	loads     int
+}
+
+// NewSwapArea creates a swap device with the given number of page slots.
+// Zero slots disables swapping (Store always fails).
+func NewSwapArea(slots int, encrypt bool) *SwapArea {
+	if slots < 0 {
+		slots = 0
+	}
+	return &SwapArea{
+		data:      make([]byte, slots*mem.PageSize),
+		slotUsed:  make([]bool, slots),
+		encrypt:   encrypt,
+		slotSeeds: make([]uint64, slots),
+		nextSeed:  0x9E3779B97F4A7C15,
+	}
+}
+
+// Slots returns the total slot count.
+func (sa *SwapArea) Slots() int { return len(sa.slotUsed) }
+
+// UsedSlots returns how many slots currently hold a page.
+func (sa *SwapArea) UsedSlots() int {
+	n := 0
+	for _, u := range sa.slotUsed {
+		if u {
+			n++
+		}
+	}
+	return n
+}
+
+// Encrypted reports whether swap encryption is enabled.
+func (sa *SwapArea) Encrypted() bool { return sa.encrypt }
+
+// Store writes one page of content into a free slot and returns the slot id.
+func (sa *SwapArea) Store(page []byte) (int, error) {
+	if len(page) != mem.PageSize {
+		return 0, fmt.Errorf("vm: swap store of %d bytes, want %d", len(page), mem.PageSize)
+	}
+	for i, used := range sa.slotUsed {
+		if used {
+			continue
+		}
+		sa.slotUsed[i] = true
+		dst := sa.data[i*mem.PageSize : (i+1)*mem.PageSize]
+		copy(dst, page)
+		if sa.encrypt {
+			sa.nextSeed = sa.nextSeed*6364136223846793005 + 1442695040888963407
+			sa.slotSeeds[i] = sa.nextSeed
+			xorKeystream(dst, sa.slotSeeds[i])
+		}
+		sa.stores++
+		return i, nil
+	}
+	return 0, ErrNoSwapSpace
+}
+
+// Load reads the content of a slot back (decrypting if needed). The slot
+// stays occupied until Release.
+func (sa *SwapArea) Load(slot int) ([]byte, error) {
+	if slot < 0 || slot >= len(sa.slotUsed) || !sa.slotUsed[slot] {
+		return nil, fmt.Errorf("vm: swap load of invalid slot %d", slot)
+	}
+	out := make([]byte, mem.PageSize)
+	copy(out, sa.data[slot*mem.PageSize:])
+	if sa.encrypt {
+		xorKeystream(out, sa.slotSeeds[slot])
+	}
+	sa.loads++
+	return out, nil
+}
+
+// Release frees a slot. Mirroring real swap devices, the slot's (possibly
+// encrypted) contents are NOT cleared — stale swap data is one of the
+// disclosure surfaces the paper's related work (Provos, Gutmann) discusses.
+func (sa *SwapArea) Release(slot int) {
+	if slot >= 0 && slot < len(sa.slotUsed) {
+		sa.slotUsed[slot] = false
+	}
+}
+
+// RawContents exposes the on-device bytes for disclosure experiments. The
+// returned slice aliases the live device.
+func (sa *SwapArea) RawContents() []byte { return sa.data }
+
+// FindPattern reports the slot-relative offsets at which pattern occurs on
+// the raw device, modelling an attacker reading the swap partition.
+func (sa *SwapArea) FindPattern(pattern []byte) []int {
+	if len(pattern) == 0 || len(sa.data) == 0 {
+		return nil
+	}
+	var out []int
+	for i := 0; i+len(pattern) <= len(sa.data); i++ {
+		match := true
+		for j := range pattern {
+			if sa.data[i+j] != pattern[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// xorKeystream XORs buf with a deterministic keystream derived from seed.
+func xorKeystream(buf []byte, seed uint64) {
+	x := seed | 1
+	for i := range buf {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		buf[i] ^= byte(x)
+	}
+}

@@ -1,0 +1,188 @@
+package keyfinder
+
+import (
+	"testing"
+
+	"memshield/internal/crypto/rsakey"
+	"memshield/internal/kernel"
+	"memshield/internal/libc"
+	"memshield/internal/protect"
+	"memshield/internal/server/sshd"
+	"memshield/internal/ssl"
+	"memshield/internal/stats"
+)
+
+func testKey(t *testing.T) *rsakey.PrivateKey {
+	t.Helper()
+	key, err := rsakey.Generate(stats.NewReader(4242), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// verifyHit proves a recovered key actually works.
+func verifyHit(t *testing.T, res Result, want *rsakey.PrivateKey) {
+	t.Helper()
+	if !res.Success() {
+		t.Fatal("no key recovered")
+	}
+	got := res.First()
+	if !got.Equal(want) {
+		t.Fatal("recovered key differs from the real one")
+	}
+	sig, err := got.SignPKCS1v15([]byte("attacker can now sign"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.PublicKey.VerifyPKCS1v15([]byte("attacker can now sign"), sig); err != nil {
+		t.Fatal("recovered key does not produce valid signatures")
+	}
+}
+
+func TestRecoverFromPEM(t *testing.T) {
+	key := testKey(t)
+	image := append([]byte("garbage before "), key.MarshalPEM()...)
+	image = append(image, []byte(" garbage after")...)
+	res := Search(image, key.PublicKey, Options{SkipFactorScan: true})
+	verifyHit(t, res, key)
+	if res.Hits[0].Method != MethodPEM {
+		t.Fatalf("method = %v, want pem", res.Hits[0].Method)
+	}
+	if res.Hits[0].Offset != len("garbage before ") {
+		t.Fatalf("offset = %d", res.Hits[0].Offset)
+	}
+}
+
+func TestRecoverFromDER(t *testing.T) {
+	key := testKey(t)
+	image := append(make([]byte, 100), key.MarshalDER()...)
+	res := Search(image, key.PublicKey, Options{SkipFactorScan: true})
+	verifyHit(t, res, key)
+	if res.Hits[0].Method != MethodDER || res.Hits[0].Offset != 100 {
+		t.Fatalf("hit = %+v", res.Hits[0])
+	}
+}
+
+func TestRecoverFromBareFactor(t *testing.T) {
+	// Only the raw bytes of p, anywhere in the image, reconstruct the
+	// whole key — the reason a single Montgomery-cache copy is fatal.
+	key := testKey(t)
+	image := make([]byte, 4096)
+	copy(image[1234:], key.P.Bytes())
+	res := Search(image, key.PublicKey, Options{})
+	verifyHit(t, res, key)
+	hit := res.Hits[0]
+	if hit.Method != MethodFactor || hit.Offset != 1234 {
+		t.Fatalf("hit = %+v", hit)
+	}
+	if res.Tested == 0 {
+		t.Fatal("factor scan should have tested candidates")
+	}
+}
+
+func TestRecoverFromQToo(t *testing.T) {
+	key := testKey(t)
+	image := make([]byte, 2048)
+	copy(image[64:], key.Q.Bytes())
+	res := Search(image, key.PublicKey, Options{})
+	verifyHit(t, res, key)
+}
+
+func TestNoFalsePositives(t *testing.T) {
+	key := testKey(t)
+	// An image full of plausible-looking high-entropy junk.
+	image := make([]byte, 64*1024)
+	stats.NewRand(5).Read(image)
+	res := Search(image, key.PublicKey, Options{})
+	if res.Success() {
+		t.Fatalf("recovered a key from junk: %+v", res.Hits)
+	}
+	// Another key's material must not match this public key.
+	other, err := rsakey.Generate(stats.NewReader(777), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	image2 := append(other.MarshalPEM(), other.P.Bytes()...)
+	res2 := Search(image2, key.PublicKey, Options{})
+	if res2.Success() {
+		t.Fatal("matched a different key")
+	}
+}
+
+func TestMaxHitsStopsEarly(t *testing.T) {
+	key := testKey(t)
+	image := append(key.MarshalPEM(), key.MarshalPEM()...)
+	res := Search(image, key.PublicKey, Options{MaxHits: 1, SkipFactorScan: true})
+	if len(res.Hits) != 1 {
+		t.Fatalf("hits = %d, want 1", len(res.Hits))
+	}
+}
+
+// TestEndToEndPublicKeyOnlyCompromise is the honest attacker scenario: dump
+// a busy unprotected server's memory and reconstruct its private key from
+// the certificate's public half alone.
+func TestEndToEndPublicKeyOnlyCompromise(t *testing.T) {
+	k, err := kernel.New(kernel.Config{MemPages: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t)
+	if err := k.FS().WriteFile("/key.pem", key.MarshalPEM()); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := sshd.Start(k, sshd.Config{KeyPath: "/key.pem", Level: protect.LevelNone, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := srv.Connect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The attacker dumps all of RAM and knows only the public key.
+	image, err := k.Mem().View(0, k.Mem().Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Search(image, key.PublicKey, Options{FactorStride: 16, MaxHits: 1})
+	verifyHit(t, res, key)
+}
+
+// TestIntegratedSolutionStillFactorsUnderFullDump shows the paper's
+// residual risk is real under the honest model too: the single aligned copy
+// contains p, and p alone rebuilds the key.
+func TestIntegratedSolutionStillFactorsUnderFullDump(t *testing.T) {
+	k, err := kernel.New(kernel.Config{
+		MemPages:      1024,
+		DeallocPolicy: protect.LevelIntegrated.KernelPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t)
+	if err := k.FS().WriteFile("/key.pem", key.MarshalPEM()); err != nil {
+		t.Fatal(err)
+	}
+	pid, err := k.Spawn(0, "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := libc.New(k, pid)
+	pem, err := k.ReadFile("/key.pem", protect.LevelIntegrated.OpenFlags())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ssl.D2iPrivateKey(heap, pem, ssl.WithAutoAlign()); err != nil {
+		t.Fatal(err)
+	}
+	image, err := k.Mem().View(0, k.Mem().Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Search(image, key.PublicKey, Options{MaxHits: 1})
+	verifyHit(t, res, key)
+	if res.Hits[0].Method != MethodFactor {
+		t.Fatalf("method = %v, want factor (no PEM/DER left in memory)", res.Hits[0].Method)
+	}
+}

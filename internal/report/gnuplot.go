@@ -1,0 +1,92 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The paper's figures were produced with gnuplot from .dat files (the plot
+// labels in Figures 3–4 and 7 still show the file names, e.g.
+// "./data/plotssh-orig-totalexploit.dat"). These helpers emit the same kind
+// of artifacts so regenerated figures can be rendered with stock gnuplot:
+// a whitespace-separated data file plus a minimal script.
+
+// GnuplotSeries is one named data column plotted against the shared X.
+type GnuplotSeries struct {
+	// Name labels the series in the plot key.
+	Name string
+	// Y values, parallel to the X axis slice.
+	Y []float64
+}
+
+// GnuplotDataset renders a .dat file: a comment header, then one row per X
+// value with all series columns.
+func GnuplotDataset(comment string, x []float64, series []GnuplotSeries) string {
+	var b strings.Builder
+	if comment != "" {
+		for _, line := range strings.Split(comment, "\n") {
+			fmt.Fprintf(&b, "# %s\n", line)
+		}
+	}
+	b.WriteString("# x")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %s", strings.ReplaceAll(s.Name, " ", "_"))
+	}
+	b.WriteByte('\n')
+	for i, xv := range x {
+		fmt.Fprintf(&b, "%g", xv)
+		for _, s := range series {
+			v := 0.0
+			if i < len(s.Y) {
+				v = s.Y[i]
+			}
+			fmt.Fprintf(&b, " %g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// GnuplotScript renders a .gp script plotting every series of a .dat file
+// with lines+points, in the style of the paper's plots.
+func GnuplotScript(title, xlabel, ylabel, datFile string, series []GnuplotSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "set title %q\n", title)
+	fmt.Fprintf(&b, "set xlabel %q\n", xlabel)
+	fmt.Fprintf(&b, "set ylabel %q\n", ylabel)
+	b.WriteString("set key top left\n")
+	b.WriteString("set grid\n")
+	b.WriteString("plot ")
+	for i, s := range series {
+		if i > 0 {
+			b.WriteString(", \\\n     ")
+		}
+		fmt.Fprintf(&b, "%q using 1:%d with linespoints title %q", datFile, i+2, s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// GnuplotMatrix renders a .dat file for a 2-D sweep in gnuplot's splot
+// block format (the paper's Figures 1–2 surfaces): one "x y z" row per grid
+// cell with a blank line between x groups.
+func GnuplotMatrix(comment string, xs, ys []float64, z [][]float64) string {
+	var b strings.Builder
+	if comment != "" {
+		for _, line := range strings.Split(comment, "\n") {
+			fmt.Fprintf(&b, "# %s\n", line)
+		}
+	}
+	b.WriteString("# x y z\n")
+	for xi, x := range xs {
+		for yi, y := range ys {
+			v := 0.0
+			if yi < len(z) && xi < len(z[yi]) {
+				v = z[yi][xi]
+			}
+			fmt.Fprintf(&b, "%g %g %g\n", x, y, v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,194 @@
+// Package report renders experiment output as plain text: aligned tables
+// for the sweep figures, x/+ scatter plots for the "locations of keys in
+// memory versus time" figures (same symbols as the paper: '×' allocated,
+// '+' unallocated), and paired bars for the before/after performance
+// comparisons.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTable renders an aligned text table with a title, header row and
+// string cells.
+func RenderTable(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// pad right-pads s to width.
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// Float formats a float with the given precision, trimming to a compact
+// cell value.
+func Float(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// ScatterPoint is one mark on a scatter plot.
+type ScatterPoint struct {
+	X      int     // column (e.g. tick)
+	Y      float64 // 0..1 vertical fraction (e.g. address / memory size)
+	Symbol rune    // 'x' for allocated, '+' for unallocated
+}
+
+// RenderScatter draws points on an X-by-height character grid, mirroring
+// the paper's location-versus-time plots. Y grows upward. When multiple
+// points land on one cell, 'x' wins over '+' wins over blank ('*' marks a
+// cell holding both symbols).
+func RenderScatter(title string, xMax, height int, points []ScatterPoint, yAxis string) string {
+	if height < 2 {
+		height = 2
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, xMax+1)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for _, p := range points {
+		if p.X < 0 || p.X > xMax || p.Y < 0 || p.Y > 1 {
+			continue
+		}
+		row := int(p.Y * float64(height))
+		if row >= height {
+			row = height - 1
+		}
+		cur := grid[row][p.X]
+		switch {
+		case cur == ' ':
+			grid[row][p.X] = p.Symbol
+		case cur != p.Symbol:
+			grid[row][p.X] = '*'
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	if yAxis != "" {
+		b.WriteString(yAxis)
+		b.WriteByte('\n')
+	}
+	for row := height - 1; row >= 0; row-- {
+		b.WriteByte('|')
+		b.WriteString(string(grid[row]))
+		b.WriteByte('\n')
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", xMax+1))
+	b.WriteString("> t\n")
+	return b.String()
+}
+
+// RenderBarPairs draws before/after value pairs per metric as horizontal
+// bars scaled to a shared maximum — the shape of the paper's Figures 8, 19
+// and 20.
+func RenderBarPairs(title string, metrics []string, before, after []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxV := 0.0
+	for _, v := range before {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	for _, v := range after {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	nameW := 0
+	for _, m := range metrics {
+		if len(m) > nameW {
+			nameW = len(m)
+		}
+	}
+	for i, m := range metrics {
+		for _, side := range []struct {
+			label string
+			val   float64
+		}{
+			{"before", valueAt(before, i)},
+			{"after ", valueAt(after, i)},
+		} {
+			n := 0
+			if maxV > 0 {
+				n = int(side.val / maxV * float64(width))
+			}
+			fmt.Fprintf(&b, "%s %s |%s %.3f\n",
+				pad(m, nameW), side.label, strings.Repeat("#", n), side.val)
+		}
+	}
+	return b.String()
+}
+
+func valueAt(xs []float64, i int) float64 {
+	if i < len(xs) {
+		return xs[i]
+	}
+	return 0
+}
+
+// RenderMatrix renders a 2-D sweep (the paper's Figure 1/2 surfaces) as a
+// table: one row per y value, one column per x value.
+func RenderMatrix(title, corner string, xs, ys []string, vals [][]string) string {
+	headers := append([]string{corner}, xs...)
+	rows := make([][]string, 0, len(ys))
+	for i, y := range ys {
+		row := []string{y}
+		if i < len(vals) {
+			row = append(row, vals[i]...)
+		}
+		rows = append(rows, row)
+	}
+	return RenderTable(title, headers, rows)
+}

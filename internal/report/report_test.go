@@ -1,0 +1,155 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTableAlignment(t *testing.T) {
+	out := RenderTable("My Title",
+		[]string{"conns", "copies"},
+		[][]string{{"50", "8.1"}, {"500", "29.55"}})
+	if !strings.Contains(out, "My Title") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "conns") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	// Columns align: "copies" column starts at same offset everywhere.
+	off := strings.Index(lines[1], "copies")
+	if !strings.Contains(lines[3][off:], "8.1") {
+		t.Fatalf("misaligned row: %q", lines[3])
+	}
+}
+
+func TestFloat(t *testing.T) {
+	if Float(3.14159, 2) != "3.14" || Float(1, 0) != "1" {
+		t.Fatal("Float formatting wrong")
+	}
+}
+
+func TestRenderScatterSymbols(t *testing.T) {
+	points := []ScatterPoint{
+		{X: 0, Y: 0.1, Symbol: 'x'},
+		{X: 5, Y: 0.9, Symbol: '+'},
+		{X: 9, Y: 0.5, Symbol: 'x'},
+		{X: 9, Y: 0.5, Symbol: '+'},  // collision -> '*'
+		{X: 99, Y: 0.5, Symbol: 'x'}, // out of range: dropped
+		{X: 3, Y: 2.0, Symbol: 'x'},  // out of range: dropped
+	}
+	out := RenderScatter("locations", 10, 8, points, "memory ^")
+	if !strings.Contains(out, "locations") || !strings.Contains(out, "memory ^") {
+		t.Fatal("missing labels")
+	}
+	if !strings.Contains(out, "x") || !strings.Contains(out, "+") {
+		t.Fatal("missing symbols")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("missing collision symbol")
+	}
+	if !strings.Contains(out, "> t") {
+		t.Fatal("missing x axis")
+	}
+}
+
+func TestRenderScatterMinHeight(t *testing.T) {
+	out := RenderScatter("", 3, 0, nil, "")
+	if strings.Count(out, "|") < 2 {
+		t.Fatal("height should clamp to >= 2")
+	}
+}
+
+func TestRenderBarPairs(t *testing.T) {
+	out := RenderBarPairs("perf", []string{"rate", "throughput"},
+		[]float64{25.0, 20.0}, []float64{24.8, 20.1}, 40)
+	if !strings.Contains(out, "perf") {
+		t.Fatal("missing title")
+	}
+	if strings.Count(out, "before") != 2 || strings.Count(out, "after") != 2 {
+		t.Fatalf("bar rows wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("missing bars")
+	}
+	// Near-equal values must render near-equal bars.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	b1 := strings.Count(lines[1], "#")
+	a1 := strings.Count(lines[2], "#")
+	if b1-a1 > 2 || a1-b1 > 2 {
+		t.Fatalf("bars differ too much: %d vs %d", b1, a1)
+	}
+}
+
+func TestRenderBarPairsZeroAndMismatch(t *testing.T) {
+	out := RenderBarPairs("", []string{"m"}, []float64{0}, nil, 0)
+	if !strings.Contains(out, "0.000") {
+		t.Fatalf("zero bars should render values: %q", out)
+	}
+}
+
+func TestRenderMatrix(t *testing.T) {
+	out := RenderMatrix("Figure 1(a)", "dirs\\conns",
+		[]string{"50", "500"},
+		[]string{"1000", "10000"},
+		[][]string{{"1.2", "8.0"}, {"9.7", "29.5"}})
+	if !strings.Contains(out, "Figure 1(a)") || !strings.Contains(out, "dirs\\conns") {
+		t.Fatal("missing labels")
+	}
+	if !strings.Contains(out, "29.5") {
+		t.Fatal("missing cell")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestGnuplotDataset(t *testing.T) {
+	out := GnuplotDataset("fig3 data\nseed 2007",
+		[]float64{0, 20, 40},
+		[]GnuplotSeries{
+			{Name: "none", Y: []float64{1.6, 53.6, 102.4}},
+			{Name: "integrated", Y: []float64{1.3, 1.8}}, // short: pads 0
+		})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "# fig3 data" || lines[1] != "# seed 2007" {
+		t.Fatalf("header wrong: %q", lines[:2])
+	}
+	if lines[2] != "# x none integrated" {
+		t.Fatalf("column header = %q", lines[2])
+	}
+	if lines[3] != "0 1.6 1.3" || lines[5] != "40 102.4 0" {
+		t.Fatalf("rows = %q", lines[3:])
+	}
+}
+
+func TestGnuplotScript(t *testing.T) {
+	out := GnuplotScript("Fig 3", "connections", "copies", "fig3.dat",
+		[]GnuplotSeries{{Name: "none"}, {Name: "integrated"}})
+	for _, want := range []string{
+		`set title "Fig 3"`,
+		`"fig3.dat" using 1:2 with linespoints title "none"`,
+		`"fig3.dat" using 1:3 with linespoints title "integrated"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("script missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGnuplotMatrix(t *testing.T) {
+	out := GnuplotMatrix("fig1",
+		[]float64{50, 500},
+		[]float64{1000, 10000},
+		[][]float64{{41.6, 216.8}, {172.5, 1750.4}})
+	if !strings.Contains(out, "50 1000 41.6\n50 10000 172.5\n\n") {
+		t.Fatalf("block format wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "500 10000 1750.4") {
+		t.Fatal("missing last cell")
+	}
+}

@@ -1,0 +1,212 @@
+// Package scan reimplements the paper's scanmemory loadable kernel module:
+// a linear search over the whole of (simulated) physical memory for the
+// byte patterns of the private key, annotating every match with whether the
+// containing frame is allocated or unallocated and which processes map it
+// (via the frame reverse map, the 2.6-kernel rmap the original tool used).
+//
+// Following Section 2 of the paper, the patterns tracked as
+// disclosure-equivalent "copies of the private key" are d, P, Q, and the
+// PEM-encoded key file; the CRT residues are deliberately not counted.
+package scan
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"memshield/internal/crypto/rsakey"
+	"memshield/internal/kernel"
+	"memshield/internal/mem"
+)
+
+// Part identifies which key component a pattern or match refers to.
+type Part int
+
+// Key parts tracked by the scanner.
+const (
+	PartD Part = iota + 1
+	PartP
+	PartQ
+	PartPEM
+)
+
+func (p Part) String() string {
+	switch p {
+	case PartD:
+		return "d"
+	case PartP:
+		return "p"
+	case PartQ:
+		return "q"
+	case PartPEM:
+		return "pem"
+	default:
+		return fmt.Sprintf("Part(%d)", int(p))
+	}
+}
+
+// Pattern is one byte string to hunt for.
+type Pattern struct {
+	Part  Part
+	Bytes []byte
+}
+
+// PatternsFor derives the four disclosure-equivalent patterns from a key.
+func PatternsFor(key *rsakey.PrivateKey) []Pattern {
+	return []Pattern{
+		{Part: PartD, Bytes: key.D.Bytes()},
+		{Part: PartP, Bytes: key.P.Bytes()},
+		{Part: PartQ, Bytes: key.Q.Bytes()},
+		{Part: PartPEM, Bytes: key.MarshalPEM()},
+	}
+}
+
+// Match is one located copy of a key part.
+type Match struct {
+	Addr      mem.Addr
+	Part      Part
+	Allocated bool
+	Owner     mem.Owner
+	PIDs      []int // processes mapping the frame (empty = kernel/none)
+}
+
+// Summary aggregates a scan.
+type Summary struct {
+	Total       int
+	Allocated   int
+	Unallocated int
+	ByPart      map[Part]int
+}
+
+// Scanner scans one machine for one key's patterns.
+type Scanner struct {
+	k        *kernel.Kernel
+	patterns []Pattern
+}
+
+// New creates a scanner. Patterns are typically PatternsFor(key).
+func New(k *kernel.Kernel, patterns []Pattern) *Scanner {
+	ps := make([]Pattern, len(patterns))
+	copy(ps, patterns)
+	return &Scanner{k: k, patterns: ps}
+}
+
+// Scan performs the linear search and classifies every match.
+func (s *Scanner) Scan() []Match {
+	var out []Match
+	m := s.k.Mem()
+	for _, pat := range s.patterns {
+		if len(pat.Bytes) == 0 {
+			continue
+		}
+		for _, addr := range m.FindAll(pat.Bytes) {
+			f := m.Frame(addr.Page())
+			out = append(out, Match{
+				Addr:      addr,
+				Part:      pat.Part,
+				Allocated: f.State == mem.FrameAllocated,
+				Owner:     f.Owner,
+				PIDs:      f.Mappers(),
+			})
+		}
+	}
+	return out
+}
+
+// Summarize aggregates matches into counts.
+func Summarize(matches []Match) Summary {
+	sum := Summary{ByPart: make(map[Part]int)}
+	for _, m := range matches {
+		sum.Total++
+		if m.Allocated {
+			sum.Allocated++
+		} else {
+			sum.Unallocated++
+		}
+		sum.ByPart[m.Part]++
+	}
+	return sum
+}
+
+// CountInBuffer counts pattern occurrences inside an attacker-captured
+// buffer (a USB stick full of mkdir leaks, or a tty memory dump).
+func CountInBuffer(buf []byte, patterns []Pattern) Summary {
+	sum := Summary{ByPart: make(map[Part]int)}
+	for _, pat := range patterns {
+		if len(pat.Bytes) == 0 || len(pat.Bytes) > len(buf) {
+			continue
+		}
+		n := countOccurrences(buf, pat.Bytes)
+		sum.Total += n
+		sum.ByPart[pat.Part] += n
+	}
+	return sum
+}
+
+// BufferMatch is one pattern occurrence inside a captured buffer.
+type BufferMatch struct {
+	Off  int
+	Len  int
+	Part Part
+}
+
+// FindAllInBuffer locates every pattern occurrence in the buffer, sorted by
+// offset. Sweeps that evaluate multiple capture prefixes (e.g. "how many
+// copies after D directories?" for several D) find all matches once and
+// count by prefix instead of rescanning.
+func FindAllInBuffer(buf []byte, patterns []Pattern) []BufferMatch {
+	var out []BufferMatch
+	for _, pat := range patterns {
+		if len(pat.Bytes) == 0 || len(pat.Bytes) > len(buf) {
+			continue
+		}
+		from := 0
+		for {
+			i := indexOf(buf[from:], pat.Bytes)
+			if i < 0 {
+				break
+			}
+			out = append(out, BufferMatch{Off: from + i, Len: len(pat.Bytes), Part: pat.Part})
+			from += i + 1
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
+	return out
+}
+
+// FoundAny reports whether any pattern occurs in the buffer — the paper's
+// attack "success" criterion (disclosure of any one part compromises the
+// key).
+func FoundAny(buf []byte, patterns []Pattern) bool {
+	for _, pat := range patterns {
+		if len(pat.Bytes) == 0 || len(pat.Bytes) > len(buf) {
+			continue
+		}
+		if indexOf(buf, pat.Bytes) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// countOccurrences counts (possibly overlapping) occurrences of pat in buf.
+func countOccurrences(buf, pat []byte) int {
+	n := 0
+	from := 0
+	for {
+		i := indexOf(buf[from:], pat)
+		if i < 0 {
+			return n
+		}
+		n++
+		from += i + 1
+	}
+}
+
+// indexOf wraps bytes.Index with the length guards the callers rely on.
+func indexOf(buf, pat []byte) int {
+	if len(pat) == 0 || len(pat) > len(buf) {
+		return -1
+	}
+	return bytes.Index(buf, pat)
+}

@@ -1,0 +1,353 @@
+// Package sshd simulates the OpenSSH 4.3p2 server of the paper's case study
+// (Section 5) on top of the simulated kernel, reproducing the memory
+// behaviour that made its host key so easy to harvest:
+//
+//   - By default the server re-executes itself for every incoming
+//     connection, so each connection's child process reloads the PEM file
+//     and rebuilds the six BIGNUMs plus (after the handshake) the
+//     Montgomery cache — a fresh set of key copies per connection.
+//   - When the connection closes, the child exits and all of those copies
+//     drop into unallocated memory, intact unless the kernel zeroes frees.
+//
+// With a copy-minimizing protection level the server instead runs with the
+// undocumented -r option (no re-exec): children are plain forks that
+// COW-share the master's single aligned, mlocked key page and never write
+// to it, so the machine-wide copy count stays constant no matter how many
+// connections are live.
+package sshd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"memshield/internal/crypto/rsakey"
+	"memshield/internal/hsm"
+	"memshield/internal/kernel"
+	"memshield/internal/libc"
+	"memshield/internal/protect"
+	"memshield/internal/ssl"
+	"memshield/internal/stats"
+)
+
+// Errors reported by the server.
+var (
+	ErrNotRunning = errors.New("sshd: server not running")
+	ErrNoConn     = errors.New("sshd: no such connection")
+	ErrHandshake  = errors.New("sshd: handshake verification failed")
+)
+
+// Config describes one server instance.
+type Config struct {
+	// KeyPath is the host key's PEM file in the simulated filesystem.
+	KeyPath string
+	// Level is the protection level to deploy.
+	Level protect.Level
+	// SessionBufferBytes is the per-connection session state size
+	// (channel buffers, kex state). Default 16 KiB.
+	SessionBufferBytes int
+	// Seed drives the handshake nonces deterministically.
+	Seed int64
+	// HSM, when set, backs the host key with a hardware security module
+	// slot instead of a PEM file: the key never enters machine memory at
+	// all (the paper's "special hardware" endpoint). KeyPath and the
+	// alignment machinery are unused in this mode.
+	HSM *hsm.Slot
+	// Tweaks applies individual copy-minimization measures on top of the
+	// level, for ablation studies.
+	Tweaks Tweaks
+}
+
+// Tweaks toggles individual mitigation ingredients independently of the
+// protection level (both default off; the copy-minimizing levels imply
+// them).
+type Tweaks struct {
+	// NoReexec runs the server with the undocumented -r option alone:
+	// per-connection children are plain forks that COW-share the
+	// master's (unaligned) key instead of reloading it.
+	NoReexec bool
+	// DisableKeyCache clears RSA_FLAG_CACHE_PRIVATE without aligning,
+	// so no Montgomery cache copies are ever built.
+	DisableKeyCache bool
+}
+
+// Stats counts server activity.
+type Stats struct {
+	Connections int // total accepted
+	Handshakes  int // RSA private ops performed
+	BytesMoved  int // transfer payload bytes
+	Disconnects int
+}
+
+// keyBackend is what a connection needs from the host key: the private
+// operation and the public half. Software keys (ssl.RSA in simulated
+// memory) and HSM slots both satisfy it.
+type keyBackend struct {
+	op  func([]byte) ([]byte, error)
+	pub rsakey.PublicKey
+}
+
+// softwareBackend adapts an in-memory RSA object.
+func softwareBackend(r *ssl.RSA) keyBackend {
+	return keyBackend{op: r.PrivateOp, pub: r.PublicKey()}
+}
+
+type conn struct {
+	id   int
+	pid  int
+	heap *libc.Heap
+	key  keyBackend
+}
+
+// Server is one running simulated OpenSSH server.
+type Server struct {
+	k   *kernel.Kernel
+	cfg Config
+
+	masterPID  int
+	masterHeap *libc.Heap
+	masterRSA  *ssl.RSA // nil in HSM mode
+	hsmKey     keyBackend
+
+	conns    map[int]*conn
+	nextConn int
+	nonce    int64
+
+	stats   Stats
+	running bool
+}
+
+// Start boots the server: spawn the master process, load (and, per the
+// level, align) the host key.
+func Start(k *kernel.Kernel, cfg Config) (*Server, error) {
+	if cfg.SessionBufferBytes == 0 {
+		cfg.SessionBufferBytes = 16 * 1024
+	}
+	if !cfg.Level.Valid() {
+		cfg.Level = protect.LevelNone
+	}
+	masterPID, err := k.Spawn(0, "sshd")
+	if err != nil {
+		return nil, fmt.Errorf("sshd: %w", err)
+	}
+	masterHeap := libc.New(k, masterPID)
+	s := &Server{
+		k:          k,
+		cfg:        cfg,
+		masterPID:  masterPID,
+		masterHeap: masterHeap,
+		conns:      make(map[int]*conn),
+		nonce:      cfg.Seed,
+		running:    true,
+	}
+	if cfg.HSM != nil {
+		pub, err := cfg.HSM.PublicKey()
+		if err != nil {
+			return nil, fmt.Errorf("sshd: hsm: %w", err)
+		}
+		s.hsmKey = keyBackend{op: cfg.HSM.PrivateOp, pub: pub}
+		return s, nil
+	}
+	masterRSA, err := loadHostKey(k, masterHeap, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.masterRSA = masterRSA
+	return s, nil
+}
+
+// loadHostKey performs the key_load_private_pem path for one process:
+// read the PEM through the page cache (or around it with O_NOCACHE) and run
+// d2i, applying the level's alignment strategy.
+func loadHostKey(k *kernel.Kernel, heap *libc.Heap, cfg Config) (*ssl.RSA, error) {
+	pem, err := k.ReadFile(cfg.KeyPath, cfg.Level.OpenFlags())
+	if err != nil {
+		return nil, fmt.Errorf("sshd: host key: %w", err)
+	}
+	var opts []ssl.LoadOption
+	if cfg.Level.AlignAtLoad() {
+		opts = append(opts, ssl.WithAutoAlign())
+	}
+	r, err := ssl.D2iPrivateKey(heap, pem, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("sshd: host key: %w", err)
+	}
+	if cfg.Level.AppAlign() {
+		if err := r.MemoryAlign(); err != nil {
+			return nil, fmt.Errorf("sshd: host key: %w", err)
+		}
+	}
+	if cfg.Tweaks.DisableKeyCache {
+		if err := r.DisableCaching(); err != nil {
+			return nil, fmt.Errorf("sshd: host key: %w", err)
+		}
+	}
+	return r, nil
+}
+
+// MasterPID returns the master process's PID.
+func (s *Server) MasterPID() int { return s.masterPID }
+
+// Stats returns a snapshot of the activity counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// ActiveConnections returns the number of open connections.
+func (s *Server) ActiveConnections() int { return len(s.conns) }
+
+// Running reports whether the server is up.
+func (s *Server) Running() bool { return s.running }
+
+// Connect accepts one client connection: spawn the per-connection child
+// (re-exec or fork per the level), perform the RSA handshake, and allocate
+// session state. Returns the connection ID.
+func (s *Server) Connect() (int, error) {
+	if !s.running {
+		return 0, ErrNotRunning
+	}
+	c := &conn{id: s.nextConn + 1}
+	switch {
+	case s.cfg.HSM != nil:
+		// Hardware-backed key: the child needs no key material at all.
+		pid, err := s.k.Fork(s.masterPID, "sshd-child")
+		if err != nil {
+			return 0, fmt.Errorf("sshd: connect: %w", err)
+		}
+		c.pid = pid
+		c.heap = s.masterHeap.Clone(pid)
+		c.key = s.hsmKey
+	case s.cfg.Level.NoReexec() || s.cfg.Tweaks.NoReexec:
+		// -r: plain fork; the child COW-shares the master's key.
+		pid, err := s.k.Fork(s.masterPID, "sshd-child")
+		if err != nil {
+			return 0, fmt.Errorf("sshd: connect: %w", err)
+		}
+		c.pid = pid
+		c.heap = s.masterHeap.Clone(pid)
+		c.key = softwareBackend(s.masterRSA.CloneFor(c.heap))
+	default:
+		// Default OpenSSH: the child re-executes itself, which gives it a
+		// fresh address space that must reload the host key. (Exec is
+		// modelled as spawning the fresh post-exec image.)
+		pid, err := s.k.Spawn(s.masterPID, "sshd-child")
+		if err != nil {
+			return 0, fmt.Errorf("sshd: connect: %w", err)
+		}
+		c.pid = pid
+		c.heap = libc.New(s.k, pid)
+		rsa, err := loadHostKey(s.k, c.heap, s.cfg)
+		if err != nil {
+			return 0, err
+		}
+		c.key = softwareBackend(rsa)
+	}
+	if err := s.handshake(c); err != nil {
+		return 0, err
+	}
+	// Session state (kex buffers, channel windows).
+	sess, err := c.heap.Malloc(s.cfg.SessionBufferBytes)
+	if err != nil {
+		return 0, fmt.Errorf("sshd: connect: %w", err)
+	}
+	junk := make([]byte, s.cfg.SessionBufferBytes)
+	stats.NewRand(s.nonce).Read(junk)
+	if err := c.heap.Write(sess, junk); err != nil {
+		return 0, err
+	}
+	s.nextConn++
+	s.conns[c.id] = c
+	s.stats.Connections++
+	return c.id, nil
+}
+
+// handshake models the SSH2 key exchange: client and server derive an
+// exchange hash, and the server proves possession of the host key by
+// producing a PKCS#1 v1.5 signature over it — a real CRT computation over
+// the real key bytes in simulated memory (or inside the HSM), verified
+// against the public key like the client would.
+func (s *Server) handshake(c *conn) error {
+	s.nonce++
+	pub := c.key.pub
+	rng := stats.NewRand(s.nonce)
+	exchangeHash := make([]byte, 32)
+	rng.Read(exchangeHash)
+	em, err := rsakey.EncodePKCS1v15(exchangeHash, (pub.N.BitLen()+7)/8)
+	if err != nil {
+		return fmt.Errorf("sshd: handshake: %w", err)
+	}
+	sig, err := c.key.op(em)
+	if err != nil {
+		return fmt.Errorf("sshd: handshake: %w", err)
+	}
+	if err := pub.VerifyPKCS1v15(exchangeHash, sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	s.stats.Handshakes++
+	return nil
+}
+
+// Transfer moves n payload bytes over a connection, churning heap buffers
+// the way scp's channel pipeline does: allocate, fill, free without
+// clearing.
+func (s *Server) Transfer(connID, n int) error {
+	c, ok := s.conns[connID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoConn, connID)
+	}
+	const chunk = 32 * 1024
+	remaining := n
+	for remaining > 0 {
+		sz := chunk
+		if sz > remaining {
+			sz = remaining
+		}
+		buf, err := c.heap.Malloc(sz)
+		if err != nil {
+			return fmt.Errorf("sshd: transfer: %w", err)
+		}
+		payload := make([]byte, sz)
+		s.nonce++
+		stats.NewRand(s.nonce).Read(payload)
+		if err := c.heap.Write(buf, payload); err != nil {
+			return err
+		}
+		if err := c.heap.Free(buf); err != nil {
+			return err
+		}
+		remaining -= sz
+	}
+	s.stats.BytesMoved += n
+	return nil
+}
+
+// Disconnect closes a connection: the child exits and its pages — including
+// any per-connection key copies — return to the kernel.
+func (s *Server) Disconnect(connID int) error {
+	c, ok := s.conns[connID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoConn, connID)
+	}
+	delete(s.conns, connID)
+	s.stats.Disconnects++
+	return s.k.Exit(c.pid)
+}
+
+// Stop shuts the server down: all connections close, then the master exits,
+// dropping its key copies into unallocated memory (t=22 in the paper's
+// timeline).
+func (s *Server) Stop() error {
+	if !s.running {
+		return ErrNotRunning
+	}
+	ids := make([]int, 0, len(s.conns))
+	for id := range s.conns {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := s.Disconnect(id); err != nil {
+			return err
+		}
+	}
+	s.running = false
+	return s.k.Exit(s.masterPID)
+}

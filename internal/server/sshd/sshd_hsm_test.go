@@ -1,0 +1,137 @@
+package sshd
+
+import (
+	"testing"
+
+	"memshield/internal/hsm"
+	"memshield/internal/protect"
+	"memshield/internal/scan"
+)
+
+// TestHSMBackedServerLeavesNoKeyInMemory covers the paper's concluding
+// argument: with the key inside special hardware, even full-memory
+// disclosure yields nothing.
+func TestHSMBackedServerLeavesNoKeyInMemory(t *testing.T) {
+	r := newRig(t, protect.LevelNone)
+	device := hsm.New()
+	slot, err := device.Import(r.key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Start(r.k, Config{
+		Level: protect.LevelNone,
+		HSM:   &hsm.Slot{Module: device, ID: slot},
+		Seed:  5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int
+	for i := 0; i < 6; i++ {
+		id, err := s.Connect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// The machine never held the key: not even the PEM (no file read).
+	// The rig wrote the PEM file to disk, but nothing ever read it.
+	sum := r.summary()
+	if sum.Total != 0 {
+		t.Fatalf("HSM-backed server: %d copies in memory (%v), want 0", sum.Total, sum.ByPart)
+	}
+	for _, id := range ids {
+		if err := s.Disconnect(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.summary(); got.Total != 0 {
+		t.Fatalf("after stop: %d copies, want 0", got.Total)
+	}
+	if device.Ops() != 6 {
+		t.Fatalf("device ops = %d, want 6", device.Ops())
+	}
+	if s.Stats().Handshakes != 6 {
+		t.Fatal("handshakes not counted")
+	}
+}
+
+// TestTweakNoReexecAlone shows the -r option by itself: children COW-share
+// the master's (unaligned) key, so the BIGNUM set stays single-copy, but
+// each child's first handshake still builds its own Montgomery cache.
+func TestTweakNoReexecAlone(t *testing.T) {
+	r := newRig(t, protect.LevelNone)
+	s, err := Start(r.k, Config{
+		KeyPath: keyPath,
+		Level:   protect.LevelNone,
+		Tweaks:  Tweaks{NoReexec: true},
+		Seed:    6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := r.summary().Total // master's 3 BIGNUMs + PEM
+	for i := 0; i < 4; i++ {
+		if _, err := s.Connect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := r.summary().Total
+	// -r alone is NOT a copy-count win: each child's first handshake still
+	// builds a Montgomery cache, and the heap writes COW-duplicate the
+	// page the unaligned BIGNUMs share with ordinary allocations. The
+	// composition changes (no per-child reload) but the per-connection
+	// growth stays — the reason the paper pairs -r with RSA_memory_align.
+	perConn := float64(grown-base) / 4
+	if perConn <= 0 || perConn > 5 {
+		t.Fatalf("per-conn growth = %.1f, want 0 < g <= 5", perConn)
+	}
+}
+
+// TestTweakDisableCacheAlone shows why clearing RSA_FLAG_CACHE_PRIVATE is
+// NOT sufficient on its own, which is precisely why RSA_memory_align also
+// relocates the key: the unaligned BIGNUMs share their heap page with
+// ordinary allocations, so each child's first write to that page
+// COW-duplicates the key along with it. Alignment onto a dedicated page —
+// which nothing ever writes — is what stops the duplication.
+func TestTweakDisableCacheAlone(t *testing.T) {
+	r := newRig(t, protect.LevelNone)
+	s, err := Start(r.k, Config{
+		KeyPath: keyPath,
+		Level:   protect.LevelNone,
+		Tweaks:  Tweaks{NoReexec: true, DisableKeyCache: true},
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := r.summary()
+	for i := 0; i < 6; i++ {
+		if _, err := s.Connect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := r.summary()
+	if grown.Total <= base.Total {
+		t.Fatalf("expected COW-neighbour duplication to grow copies (%d -> %d)",
+			base.Total, grown.Total)
+	}
+	// But the key pages are NOT mlocked (unlike the aligned levels).
+	matches := scan.New(r.k, scan.PatternsFor(r.key)).Scan()
+	locked := false
+	for _, m := range matches {
+		if m.Part == scan.PartPEM {
+			continue
+		}
+		pn := m.Addr.Page()
+		if r.k.Mem().Frame(pn).Locked {
+			locked = true
+		}
+	}
+	if locked {
+		t.Fatal("cache-off tweak must not mlock anything (that's alignment's job)")
+	}
+}

@@ -1,0 +1,290 @@
+// Package sim reimplements the paper's timeline experiment driver (the
+// runsimulation.pl script of Appendix 8.2): a 29-tick schedule that starts
+// a server, ramps client traffic 0 → 8 → 16 → 8 → 0 concurrent transfers,
+// stops the server, and snapshots the machine with the memory scanner after
+// every tick. The resulting per-tick match lists are exactly the data
+// behind Figures 5/6 (unprotected) and 9–16 / 21–28 (each protection
+// level) — the "locations of keys in memory versus time" scatter and the
+// allocated/unallocated copy-count bars.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"memshield/internal/crypto/rsakey"
+	"memshield/internal/kernel"
+	"memshield/internal/protect"
+	"memshield/internal/scan"
+	"memshield/internal/server/httpd"
+	"memshield/internal/server/sshd"
+	"memshield/internal/stats"
+)
+
+// ServerKind selects which case study to run.
+type ServerKind int
+
+// Server kinds.
+const (
+	KindSSH ServerKind = iota + 1
+	KindApache
+)
+
+func (k ServerKind) String() string {
+	switch k {
+	case KindSSH:
+		return "openssh"
+	case KindApache:
+		return "apache"
+	default:
+		return fmt.Sprintf("ServerKind(%d)", int(k))
+	}
+}
+
+// KeyPath is where the simulated host/TLS key lives.
+const KeyPath = "/etc/ssl/private/server.key"
+
+// Schedule holds the event ticks (defaults match the paper; unit = 2 min).
+type Schedule struct {
+	StartServer int // server starts (t=2)
+	TrafficLow  int // first client: 8 concurrent transfers (t=6)
+	TrafficHigh int // second client joins: 16 total (t=10)
+	TrafficMid  int // first client stops: back to 8 (t=14)
+	TrafficOff  int // all traffic stops (t=18)
+	StopServer  int // server stops (t=22)
+	End         int // simulation ends (t=29)
+}
+
+// DefaultSchedule returns the paper's timeline.
+func DefaultSchedule() Schedule {
+	return Schedule{
+		StartServer: 2, TrafficLow: 6, TrafficHigh: 10,
+		TrafficMid: 14, TrafficOff: 18, StopServer: 22, End: 29,
+	}
+}
+
+// targetConns returns the concurrent-transfer target at a tick.
+func (s Schedule) targetConns(tick, low, high int) int {
+	switch {
+	case tick < s.TrafficLow:
+		return 0
+	case tick < s.TrafficHigh:
+		return low
+	case tick < s.TrafficMid:
+		return high
+	case tick < s.TrafficOff:
+		return low
+	default:
+		return 0
+	}
+}
+
+// Config describes one timeline run.
+type Config struct {
+	Kind  ServerKind
+	Level protect.Level
+	// MemPages is the machine size (default 8192 = 32 MiB).
+	MemPages int
+	// KeyBits is the RSA modulus size (default 512 for speed; the paper
+	// used 1024).
+	KeyBits int
+	// Seed drives key generation, free-list scrambling and payloads.
+	Seed int64
+	// Schedule defaults to the paper's.
+	Schedule Schedule
+	// LowConns/HighConns are the two traffic plateaus (8 / 16).
+	LowConns  int
+	HighConns int
+	// ChurnRounds is how many times per tick each connection slot is
+	// recycled (each scp/wget transfer lasts ~4 s against a 2-minute
+	// tick, so slots recycle constantly; default 2).
+	ChurnRounds int
+	// TransferBytes per transfer (default 102 KiB, the paper's average
+	// benchmark file size).
+	TransferBytes int
+}
+
+func (c *Config) applyDefaults() {
+	if c.MemPages == 0 {
+		c.MemPages = 8192
+	}
+	if c.KeyBits == 0 {
+		c.KeyBits = 512
+	}
+	if c.Schedule == (Schedule{}) {
+		c.Schedule = DefaultSchedule()
+	}
+	if c.LowConns == 0 {
+		c.LowConns = 8
+	}
+	if c.HighConns == 0 {
+		c.HighConns = 16
+	}
+	if c.ChurnRounds == 0 {
+		c.ChurnRounds = 2
+	}
+	if c.TransferBytes == 0 {
+		c.TransferBytes = 102 * 1024
+	}
+	if !c.Level.Valid() {
+		c.Level = protect.LevelNone
+	}
+}
+
+// TickSample is one scanner snapshot.
+type TickSample struct {
+	Tick          int
+	Matches       []scan.Match
+	Summary       scan.Summary
+	ServerRunning bool
+	Conns         int
+}
+
+// Result is a full timeline run.
+type Result struct {
+	Config   Config
+	Key      *rsakey.PrivateKey
+	MemPages int
+	Samples  []TickSample
+}
+
+// serverHandle unifies the two servers for the driver loop.
+type serverHandle interface {
+	Connect() (int, error)
+	Churn(id, bytes int) error
+	Disconnect(id int) error
+	Maintain() error
+	Stop() error
+}
+
+type sshHandle struct{ s *sshd.Server }
+
+func (h sshHandle) Connect() (int, error)     { return h.s.Connect() }
+func (h sshHandle) Churn(id, bytes int) error { return h.s.Transfer(id, bytes) }
+func (h sshHandle) Disconnect(id int) error   { return h.s.Disconnect(id) }
+func (h sshHandle) Maintain() error           { return nil }
+func (h sshHandle) Stop() error               { return h.s.Stop() }
+
+type apacheHandle struct{ s *httpd.Server }
+
+func (h apacheHandle) Connect() (int, error)     { return h.s.Connect() }
+func (h apacheHandle) Churn(id, bytes int) error { return h.s.Request(id, bytes) }
+func (h apacheHandle) Disconnect(id int) error   { return h.s.Disconnect(id) }
+func (h apacheHandle) Maintain() error           { return h.s.MaintainSpares() }
+func (h apacheHandle) Stop() error               { return h.s.Stop() }
+
+// Run executes the timeline and returns the per-tick scanner samples.
+func Run(cfg Config) (*Result, error) {
+	cfg.applyDefaults()
+	if cfg.Kind != KindSSH && cfg.Kind != KindApache {
+		return nil, errors.New("sim: unknown server kind")
+	}
+	k, err := kernel.New(kernel.Config{
+		MemPages:      cfg.MemPages,
+		DeallocPolicy: cfg.Level.KernelPolicy(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	key, err := rsakey.Generate(stats.NewReader(cfg.Seed), cfg.KeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := k.FS().WriteFile(KeyPath, key.MarshalPEM()); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := k.ScrambleFreeMemory(cfg.Seed + 1); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	// Paper, Section 3.2 observation (1): on the unpatched machine the
+	// PEM file is already in the page cache at t=0 — the filesystem
+	// touched it before the experiment (the Reiser FS effect). The
+	// protected experiments deliberately avoided that pre-caching.
+	if cfg.Level == protect.LevelNone {
+		if _, err := k.ReadFile(KeyPath, 0); err != nil {
+			return nil, fmt.Errorf("sim: pre-cache: %w", err)
+		}
+	}
+	sc := scan.New(k, scan.PatternsFor(key))
+	res := &Result{Config: cfg, Key: key, MemPages: cfg.MemPages}
+
+	var srv serverHandle
+	var open []int
+	for tick := 0; tick <= cfg.Schedule.End; tick++ {
+		// Server lifecycle events.
+		if tick == cfg.Schedule.StartServer {
+			srv, err = startServer(k, cfg)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if tick == cfg.Schedule.StopServer && srv != nil {
+			if err := srv.Stop(); err != nil {
+				return nil, fmt.Errorf("sim: stop: %w", err)
+			}
+			srv = nil
+			open = nil
+		}
+		// Traffic churn towards the tick's target. Each round models one
+		// generation of short transfers: new connections arrive (and move
+		// their payload) while the previous generation is still draining,
+		// then the old generation closes — so every tick ends with a batch
+		// of freshly freed per-connection pages, the way a real server's
+		// teardown continuously feeds key copies into unallocated memory.
+		if srv != nil {
+			target := cfg.Schedule.targetConns(tick, cfg.LowConns, cfg.HighConns)
+			for round := 0; round < cfg.ChurnRounds; round++ {
+				fresh := make([]int, 0, target)
+				for i := 0; i < target; i++ {
+					id, err := srv.Connect()
+					if err != nil {
+						return nil, fmt.Errorf("sim: tick %d connect: %w", tick, err)
+					}
+					fresh = append(fresh, id)
+					if err := srv.Churn(id, cfg.TransferBytes); err != nil {
+						return nil, fmt.Errorf("sim: tick %d churn: %w", tick, err)
+					}
+				}
+				for _, id := range open {
+					if err := srv.Disconnect(id); err != nil {
+						return nil, fmt.Errorf("sim: tick %d: %w", tick, err)
+					}
+				}
+				open = fresh
+			}
+			if err := srv.Maintain(); err != nil {
+				return nil, fmt.Errorf("sim: tick %d maintain: %w", tick, err)
+			}
+		}
+		k.Tick()
+		matches := sc.Scan()
+		res.Samples = append(res.Samples, TickSample{
+			Tick:          tick,
+			Matches:       matches,
+			Summary:       scan.Summarize(matches),
+			ServerRunning: srv != nil,
+			Conns:         len(open),
+		})
+	}
+	return res, nil
+}
+
+// startServer boots the configured server kind.
+func startServer(k *kernel.Kernel, cfg Config) (serverHandle, error) {
+	switch cfg.Kind {
+	case KindSSH:
+		s, err := sshd.Start(k, sshd.Config{KeyPath: KeyPath, Level: cfg.Level, Seed: cfg.Seed + 2})
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		return sshHandle{s}, nil
+	case KindApache:
+		s, err := httpd.Start(k, httpd.Config{KeyPath: KeyPath, Level: cfg.Level, Seed: cfg.Seed + 2})
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		return apacheHandle{s}, nil
+	default:
+		return nil, errors.New("sim: unknown server kind")
+	}
+}

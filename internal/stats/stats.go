@@ -1,0 +1,89 @@
+// Package stats provides the small statistical and deterministic-randomness
+// helpers the experiment harnesses share: seeded RNGs (so every figure is
+// reproducible bit-for-bit), and the mean/rate aggregation the paper applies
+// over its 15- and 20-trial attack runs.
+package stats
+
+import (
+	"io"
+	"math"
+	"math/rand"
+)
+
+// NewRand returns a deterministic RNG for the given seed.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// NewReader returns a deterministic io.Reader of pseudo-random bytes, used
+// to drive key generation reproducibly.
+func NewReader(seed int64) io.Reader {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Rate returns successes/trials (0 for zero trials).
+func Rate(successes, trials int) float64 {
+	if trials == 0 {
+		return 0
+	}
+	return float64(successes) / float64(trials)
+}
+
+// Min returns the minimum of xs (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - mu
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanSum(t *testing.T) {
+	if Mean(nil) != 0 || Sum(nil) != 0 {
+		t.Fatal("empty input should be 0")
+	}
+	xs := []float64{1, 2, 3, 4}
+	if Sum(xs) != 10 || Mean(xs) != 2.5 {
+		t.Fatalf("Sum=%v Mean=%v", Sum(xs), Mean(xs))
+	}
+}
+
+func TestRate(t *testing.T) {
+	if Rate(3, 4) != 0.75 || Rate(0, 0) != 0 || Rate(0, 5) != 0 {
+		t.Fatal("Rate wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min=%v Max=%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty Min/Max should be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 || StdDev(nil) != 0 {
+		t.Fatal("degenerate StdDev should be 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := NewRand(9), NewRand(9)
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed must agree")
+		}
+	}
+	r1, r2 := NewReader(3), NewReader(3)
+	b1, b2 := make([]byte, 32), make([]byte, 32)
+	if _, err := r1.Read(b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Read(b2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatal("NewReader not deterministic")
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package trace provides the kernel event tracer used to understand — not
+// just observe — the attacks, in the spirit of the paper's Section 3: when
+// the scanner shows a key copy in unallocated memory, the trace shows the
+// exact sequence of events (which process forked, which pages were freed
+// unzeroed at its exit, which COW break duplicated the key page) that put
+// it there.
+//
+// Events are collected in a fixed-capacity ring so tracing can stay enabled
+// through long simulations at bounded memory cost.
+package trace
+
+import (
+	"fmt"
+
+	"memshield/internal/mem"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	EvAlloc Kind = iota + 1
+	EvFree
+	EvZero
+	EvFork
+	EvExit
+	EvCOWBreak
+	EvSwapOut
+	EvSwapIn
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EvAlloc:
+		return "alloc"
+	case EvFree:
+		return "free"
+	case EvZero:
+		return "zero"
+	case EvFork:
+		return "fork"
+	case EvExit:
+		return "exit"
+	case EvCOWBreak:
+		return "cow-break"
+	case EvSwapOut:
+		return "swap-out"
+	case EvSwapIn:
+		return "swap-in"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one kernel event.
+type Event struct {
+	// Seq is the global sequence number (monotonic from 1).
+	Seq uint64
+	// Kind classifies the event.
+	Kind Kind
+	// PID is the acting process (0 for kernel-internal events).
+	PID int
+	// Page is the affected frame (alloc/free/zero/cow/swap events).
+	Page mem.PageNum
+	// Aux carries a kind-specific extra: block order for alloc/free,
+	// child PID for fork, new frame for cow-break, swap slot for swap
+	// events.
+	Aux int
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s pid=%d page=%d aux=%d", e.Seq, e.Kind, e.PID, e.Page, e.Aux)
+}
+
+// Sink consumes events. A nil Sink is valid everywhere and means "tracing
+// off".
+type Sink interface {
+	Emit(Event)
+}
+
+// Ring is a fixed-capacity event buffer retaining the most recent events.
+type Ring struct {
+	buf   []Event
+	start int // index of oldest event
+	count int // events currently stored
+	total uint64
+}
+
+var _ Sink = (*Ring)(nil)
+
+// NewRing creates a ring holding up to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit records an event, assigning its sequence number.
+func (r *Ring) Emit(e Event) {
+	r.total++
+	e.Seq = r.total
+	if r.count < len(r.buf) {
+		r.buf[(r.start+r.count)%len(r.buf)] = e
+		r.count++
+		return
+	}
+	r.buf[r.start] = e
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int { return r.count }
+
+// Total returns the number of events ever emitted (including evicted ones).
+func (r *Ring) Total() uint64 { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	out := make([]Event, r.count)
+	for i := 0; i < r.count; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Filter returns the retained events matching pred, oldest first.
+func (r *Ring) Filter(pred func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PageHistory returns the retained events touching one frame — the tool for
+// answering "how did the key get HERE?".
+func (r *Ring) PageHistory(pn mem.PageNum) []Event {
+	return r.Filter(func(e Event) bool { return e.Page == pn })
+}
+
+// CountByKind tallies the retained events.
+func (r *Ring) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Reset discards all retained events (the total keeps counting).
+func (r *Ring) Reset() {
+	r.start, r.count = 0, 0
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"testing"
+
+	"memshield/internal/mem"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(4)
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("fresh ring not empty")
+	}
+	for i := 0; i < 3; i++ {
+		r.Emit(Event{Kind: EvAlloc, Page: mem.PageNum(i)})
+	}
+	if r.Len() != 3 || r.Total() != 3 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+	events := r.Events()
+	for i, e := range events {
+		if e.Seq != uint64(i+1) || e.Page != mem.PageNum(i) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Kind: EvFree, Page: mem.PageNum(i)})
+	}
+	if r.Len() != 3 || r.Total() != 5 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+	events := r.Events()
+	if events[0].Page != 2 || events[2].Page != 4 {
+		t.Fatalf("retained = %v", events)
+	}
+	if events[0].Seq != 3 {
+		t.Fatalf("oldest seq = %d, want 3", events[0].Seq)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Emit(Event{Kind: EvZero})
+	r.Emit(Event{Kind: EvFork})
+	if r.Len() != 1 || r.Events()[0].Kind != EvFork {
+		t.Fatal("capacity should clamp to 1 and keep newest")
+	}
+}
+
+func TestFilterAndPageHistory(t *testing.T) {
+	r := NewRing(16)
+	r.Emit(Event{Kind: EvAlloc, Page: 7, PID: 1})
+	r.Emit(Event{Kind: EvAlloc, Page: 8, PID: 1})
+	r.Emit(Event{Kind: EvFree, Page: 7, PID: 2})
+	hist := r.PageHistory(7)
+	if len(hist) != 2 || hist[0].Kind != EvAlloc || hist[1].Kind != EvFree {
+		t.Fatalf("history = %v", hist)
+	}
+	allocs := r.Filter(func(e Event) bool { return e.Kind == EvAlloc })
+	if len(allocs) != 2 {
+		t.Fatalf("allocs = %d", len(allocs))
+	}
+	counts := r.CountByKind()
+	if counts[EvAlloc] != 2 || counts[EvFree] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRing(4)
+	r.Emit(Event{Kind: EvAlloc})
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset should empty the ring")
+	}
+	if r.Total() != 1 {
+		t.Fatal("total should survive reset")
+	}
+	r.Emit(Event{Kind: EvFree})
+	if r.Events()[0].Seq != 2 {
+		t.Fatal("sequence should continue after reset")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	kinds := []Kind{EvAlloc, EvFree, EvZero, EvFork, EvExit, EvCOWBreak, EvSwapOut, EvSwapIn}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should format")
+	}
+	e := Event{Seq: 3, Kind: EvCOWBreak, PID: 5, Page: 9, Aux: 11}
+	if e.String() == "" {
+		t.Fatal("event should format")
+	}
+}
