@@ -1,0 +1,33 @@
+# memshield build targets. CI (.github/workflows/ci.yml) runs the same
+# commands; `make lint` is the static gate every PR must pass.
+
+GO ?= go
+
+.PHONY: all build test race lint fuzz figures
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint = the compiler-adjacent vet suite plus memlint, the repo's own
+# go/analysis-style checkers (detrand, physaccess, keycopy, simerrcheck).
+# See DESIGN.md "Static guarantees".
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/memlint ./...
+
+# Short fuzz smoke over every fuzz target (30s each).
+fuzz:
+	$(GO) test -fuzz=FuzzReadInteger -fuzztime=30s ./internal/crypto/der
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/crypto/pemfile
+	$(GO) test -fuzz=FuzzFindPlanted -fuzztime=30s ./internal/scan
+
+figures:
+	$(GO) run ./cmd/figures -all

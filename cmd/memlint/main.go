@@ -1,0 +1,140 @@
+// Command memlint is the repository's static-analysis gate: it runs the
+// internal/analysis suite — detrand, physaccess, keycopy, simerrcheck —
+// over the module and exits nonzero on any finding. CI runs it next to
+// `go vet`; see DESIGN.md "Static guarantees" for the invariant each
+// analyzer enforces.
+//
+// Usage:
+//
+//	memlint [-list] [-tests=false] [-only name,name] [patterns...]
+//
+// Patterns default to ./... (the whole module). Findings print as
+// file:line:col: message (analyzer). Suppress a deliberate exception with
+// a trailing
+//
+//	//memlint:allow <analyzer> <reason>
+//
+// comment on (or directly above) the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"memshield/internal/analysis"
+	"memshield/internal/analysis/detrand"
+	"memshield/internal/analysis/keycopy"
+	"memshield/internal/analysis/load"
+	"memshield/internal/analysis/physaccess"
+	"memshield/internal/analysis/simerrcheck"
+)
+
+// suite is every analyzer memlint runs, in output order.
+var suite = []*analysis.Analyzer{
+	detrand.Analyzer,
+	physaccess.Analyzer,
+	keycopy.Analyzer,
+	simerrcheck.Analyzer,
+}
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the suite and returns the process exit code: 0 clean, 1
+// findings.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("memlint", flag.ContinueOnError)
+	fs.SetOutput(out)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	tests := fs.Bool("tests", true, "also analyze _test.go files")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+	analyzers := suite
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return 2, fmt.Errorf("unknown analyzer %q", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		// Like go vet: no patterns means the current directory, so a
+		// mis-wired CI step can never silently check nothing.
+		patterns = []string{"."}
+	}
+	cfg := load.Config{Tests: *tests}
+	pkgs, fset, err := cfg.Load(patterns...)
+	if err != nil {
+		return 2, err
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.PkgPath, pkg.Info, pkg.IsTestFile)
+			if err := a.Run(pass); err != nil {
+				return 2, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		fmt.Fprintf(out, "%s: %s (%s)\n", relPos(fset.Position(d.Pos), cwd), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(out, "memlint: %d finding(s)\n", len(diags))
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// relPos renders a position with a cwd-relative path when possible.
+func relPos(pos token.Position, cwd string) string {
+	file := pos.Filename
+	if cwd != "" {
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d", file, pos.Line, pos.Column)
+}

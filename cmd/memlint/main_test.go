@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestList prints every analyzer.
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-list"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	for _, name := range []string{"detrand", "physaccess", "keycopy", "simerrcheck"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestCleanPackage exits 0 on a package that honours the invariants.
+func TestCleanPackage(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"./internal/stats"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("want exit 0, got %d:\n%s", code, out.String())
+	}
+}
+
+// TestViolationsFail runs the suite over a fixture package full of
+// deliberate violations (the "introduce time.Now() and watch it fail"
+// acceptance check, without mutating live code) and expects failure.
+func TestViolationsFail(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"./internal/analysis/detrand/testdata/src/detrandbad"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("want exit 1 on violations, got %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "time.Now reads the wall clock") {
+		t.Errorf("missing time.Now finding:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "finding(s)") {
+		t.Errorf("missing summary line:\n%s", out.String())
+	}
+}
+
+// TestOnlyUnknown rejects unknown analyzer names.
+func TestOnlyUnknown(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run([]string{"-only", "nosuch"}, &out); err == nil {
+		t.Fatal("want error for unknown analyzer")
+	}
+}

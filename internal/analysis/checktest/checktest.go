@@ -1,0 +1,139 @@
+// Package checktest is the repo-local analogue of
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer over
+// fixture packages laid out under testdata/src/<importpath>/ and compares
+// the diagnostics against "// want" expectations written next to the code
+// that should (or should not) be flagged.
+//
+// Expectation syntax, one or more per line, matching x/tools:
+//
+//	v := rand.Intn(3) // want `rand\.Intn`
+//	_ = bad()         // want "first" "second"
+//
+// Each quoted string is a regular expression that must match the message
+// of exactly one diagnostic reported on that line. Diagnostics without a
+// matching expectation, and expectations without a matching diagnostic,
+// fail the test. Fixture packages may import real module packages
+// ("memshield/internal/..."): the loader resolves them from the live tree,
+// so fixtures exercise the analyzers against the actual simulator APIs.
+package checktest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"memshield/internal/analysis"
+	"memshield/internal/analysis/load"
+)
+
+// expectation is one "// want" regexp, positioned at file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)$")
+var tokenRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run analyzes each fixture package under testdataDir/src and reports any
+// mismatch between diagnostics and expectations as test errors.
+func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	moduleRoot, err := load.FindModuleRoot()
+	if err != nil {
+		t.Fatalf("checktest: %v", err)
+	}
+	cfg := load.Config{ModuleRoot: moduleRoot, FixtureRoot: testdataDir}
+	for _, path := range pkgPaths {
+		pkgs, fset, err := cfg.Load(path)
+		if err != nil {
+			t.Fatalf("checktest: loading %s: %v", path, err)
+		}
+		for _, pkg := range pkgs {
+			runOne(t, fset, a, pkg)
+		}
+	}
+}
+
+func runOne(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.PkgPath, pkg.Info, pkg.IsTestFile)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("checktest: %s on %s: %v", a.Name, pkg.PkgPath, err)
+	}
+	expects := collectWants(t, fset, pkg)
+
+	diags := pass.Diagnostics()
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !consume(expects, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// collectWants parses the expectations out of the fixture's comments.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *load.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, tok := range tokenRe.FindAllString(m[1], -1) {
+					raw, err := unquote(tok)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, tok, err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					out = append(out, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: raw,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func unquote(tok string) (string, error) {
+	if strings.HasPrefix(tok, "`") {
+		if len(tok) < 2 || !strings.HasSuffix(tok, "`") {
+			return "", fmt.Errorf("unterminated raw string")
+		}
+		return tok[1 : len(tok)-1], nil
+	}
+	return strconv.Unquote(tok)
+}
+
+// consume marks the first unmatched expectation at (file, line) whose
+// regexp matches msg.
+func consume(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+// Package detrand implements the memlint analyzer enforcing DESIGN.md §4
+// "Determinism": every experiment is driven by an explicit seed, the
+// timeline is tick-based, and no wall-clock time or ambient entropy may
+// influence a result. Concretely it forbids, everywhere in the module:
+//
+//   - time.Now / time.Since / time.Until — wall-clock reads; simulated
+//     time is the kernel tick counter (Kernel.Clock).
+//   - importing crypto/rand — OS entropy; key generation must consume a
+//     deterministic stats.NewReader stream.
+//   - the package-level math/rand and math/rand/v2 functions (rand.Intn,
+//     rand.Shuffle, rand.N, ...) — they draw from the shared global
+//     source, which is seeded per-process, not per-experiment. All
+//     randomness must flow through seeded *rand.Rand values obtained from
+//     internal/stats (methods on a *rand.Rand value are fine).
+//
+// Allowlisted packages: internal/stats (the one place that constructs
+// seeded sources) and internal/crypto/rsakey (its documented deterministic
+// prime search consumes an io.Reader and is the sanctioned substitute for
+// crypto/rand.Prime).
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"memshield/internal/analysis"
+)
+
+// Analyzer is the detrand analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall-clock time and unseeded randomness; all entropy must " +
+		"come from internal/stats seeded RNGs (DESIGN.md §4 determinism)",
+	Run: run,
+}
+
+// allowedPkgs may use ambient randomness sources directly.
+var allowedPkgs = map[string]bool{
+	"memshield/internal/stats":         true, // constructs the seeded sources
+	"memshield/internal/crypto/rsakey": true, // documented deterministic prime search
+}
+
+// timeFuncs are the forbidden wall-clock reads.
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// globalRandFuncs are the package-level functions of math/rand and
+// math/rand/v2 that draw from the process-global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true, "Uint64": true,
+	"Uint64N": true, "UintN": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Read": true, "Seed": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if allowedPkgs[strings.TrimSuffix(pass.PkgPath, "_test")] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "crypto/rand" {
+				pass.Reportf(imp.Pos(), "import of crypto/rand breaks determinism: "+
+					"generate keys from a seeded stats.NewReader stream instead")
+			}
+		}
+	}
+	// Walk uses rather than call sites so that taking a function value
+	// (e.g. `f := time.Now`) is caught too. Sort for stable output.
+	type use struct {
+		id  *ast.Ident
+		obj types.Object
+	}
+	var uses []use
+	for id, obj := range pass.TypesInfo.Uses {
+		uses = append(uses, use{id, obj})
+	}
+	sort.Slice(uses, func(i, j int) bool { return uses[i].id.Pos() < uses[j].id.Pos() })
+	for _, u := range uses {
+		fn, ok := u.obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			continue // methods (e.g. (*rand.Rand).Intn) are the sanctioned path
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if timeFuncs[fn.Name()] {
+				pass.Reportf(u.id.Pos(), "time.%s reads the wall clock; simulated time "+
+					"is Kernel.Clock ticks (DESIGN.md §4 determinism)", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if globalRandFuncs[fn.Name()] {
+				pass.Reportf(u.id.Pos(), "rand.%s draws from the unseeded global source; "+
+					"use a seeded *rand.Rand from internal/stats", fn.Name())
+			}
+		}
+	}
+	return nil
+}

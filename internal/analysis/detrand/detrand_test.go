@@ -1,0 +1,23 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"memshield/internal/analysis/checktest"
+	"memshield/internal/analysis/detrand"
+)
+
+func TestFlagged(t *testing.T) {
+	checktest.Run(t, "testdata", detrand.Analyzer, "detrandbad")
+}
+
+func TestAllowed(t *testing.T) {
+	checktest.Run(t, "testdata", detrand.Analyzer, "detrandok")
+}
+
+// TestAllowlistedPackage loads a fixture under the internal/stats import
+// path: the package that constructs seeded sources may touch the global
+// source machinery without findings.
+func TestAllowlistedPackage(t *testing.T) {
+	checktest.Run(t, "testdata", detrand.Analyzer, "memshield/internal/stats")
+}

@@ -1,0 +1,32 @@
+// Package detrandbad exercises every pattern detrand must flag.
+package detrandbad
+
+import (
+	crand "crypto/rand" // want `crypto/rand breaks determinism`
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+var _ = crand.Reader
+
+// Clock reads wall-clock time three ways.
+func Clock() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	_ = time.Until(start)    // want `time\.Until reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// GlobalRand draws from the process-global sources.
+func GlobalRand() int {
+	n := rand.Intn(10)                 // want `rand\.Intn draws from the unseeded global source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle draws from the unseeded global source`
+	_ = randv2.IntN(10)                // want `rand\.IntN draws from the unseeded global source`
+	_ = randv2.N(10)                   // want `rand\.N draws from the unseeded global source`
+	return n
+}
+
+// FuncValue catches taking the function value, not just calling it.
+func FuncValue() func() time.Time {
+	return time.Now // want `time\.Now reads the wall clock`
+}

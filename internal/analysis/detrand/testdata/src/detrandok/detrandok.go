@@ -1,0 +1,25 @@
+// Package detrandok exercises the patterns detrand must allow: seeded
+// RNGs, rand.Rand methods, benign time API, and the allow directive.
+package detrandok
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Seeded randomness through an explicit source is the sanctioned path.
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) + int(rng.Int63n(3))
+}
+
+// Durations and tick arithmetic are fine; only wall-clock reads are not.
+func TickBudget(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}
+
+// Suppressed documents a deliberate, reasoned exception.
+func Suppressed() time.Time {
+	//memlint:allow detrand fixture: documenting the escape hatch
+	return time.Now()
+}

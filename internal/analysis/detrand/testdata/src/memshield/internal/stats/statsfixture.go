@@ -1,0 +1,14 @@
+// Package stats (fixture) shadows the real internal/stats import path for
+// this test session: the package that constructs seeded sources may touch
+// ambient randomness machinery without findings.
+package stats
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter would be flagged anywhere else.
+func Jitter() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(3))
+}

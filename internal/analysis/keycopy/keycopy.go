@@ -1,0 +1,260 @@
+// Package keycopy implements the memlint analyzer that statically audits
+// the paper's central hygiene rule (DESIGN.md §5.8, "exactly one copy"):
+// private-key material must live in simulated physical memory, and the
+// native Go heap may only ever hold it transiently — decode it, hand it to
+// the simulated FS or heap, let it die. Any operation that duplicates key
+// bytes or parks them in a long-lived native location creates a shadow
+// copy the scanner can never see and the countermeasures can never scrub,
+// silently invalidating every figure.
+//
+// Key-material sources (taint roots) are the byte-returning APIs of
+// internal/crypto/* and internal/ssl:
+//
+//	(*rsakey.PrivateKey).MarshalDER / MarshalPEM
+//	pemfile.Decode (the DER payload result)
+//	(*ssl.BigNum).Bytes
+//
+// Taint propagates locally through assignment, re-slicing, append and
+// clones. Violations:
+//
+//   - bytes.Clone / slices.Clone of tainted bytes — an explicit second
+//     native copy, flagged unconditionally;
+//   - copy or append whose destination is long-lived (package-level
+//     variable or struct field) with a tainted source;
+//   - assigning or appending tainted bytes into a package-level variable
+//     or struct field (slice escape into a long-lived location).
+//
+// Allowlisted: the source packages themselves (crypto/*, ssl), and the
+// experimenter-side packages that by design retain search patterns or
+// captures (internal/scan, internal/keyfinder). Test files are skipped —
+// assertions on key bytes are not shipped code.
+package keycopy
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"memshield/internal/analysis"
+)
+
+// Analyzer is the keycopy analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "keycopy",
+	Doc: "flag duplication or long-lived native-heap storage of private-key " +
+		"material returned by internal/crypto/* and internal/ssl (the paper's " +
+		"\"exactly one copy\" audit, statically)",
+	Run: run,
+}
+
+// sources maps the full go/types name of a key-material API to the index
+// of its tainted result.
+var sources = map[string]int{
+	"(*memshield/internal/crypto/rsakey.PrivateKey).MarshalDER": 0,
+	"(*memshield/internal/crypto/rsakey.PrivateKey).MarshalPEM": 0,
+	"memshield/internal/crypto/pemfile.Decode":                  1,
+	"(*memshield/internal/ssl.BigNum).Bytes":                    0,
+}
+
+// allowedPkgs handle key material as their charter.
+var allowedPkgs = map[string]bool{
+	"memshield/internal/crypto/der":     true,
+	"memshield/internal/crypto/pemfile": true,
+	"memshield/internal/crypto/rsakey":  true,
+	"memshield/internal/ssl":            true,
+	"memshield/internal/scan":           true, // retains search patterns by design
+	"memshield/internal/keyfinder":      true, // retains captures by design
+}
+
+func run(pass *analysis.Pass) error {
+	if allowedPkgs[strings.TrimSuffix(pass.PkgPath, "_test")] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFunc(pass, fd.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+// sourceResult returns (result index, true) when call invokes a
+// key-material source.
+func sourceResult(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
+	fn := analysis.FuncObj(pass.TypesInfo, call)
+	if fn == nil {
+		return 0, false
+	}
+	idx, ok := sources[fn.FullName()]
+	return idx, ok
+}
+
+// cloneName reports a call to bytes.Clone or slices.Clone.
+func cloneName(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := analysis.FuncObj(pass.TypesInfo, call)
+	if fn == nil {
+		return ""
+	}
+	switch fn.FullName() {
+	case "bytes.Clone":
+		return "bytes.Clone"
+	case "slices.Clone":
+		return "slices.Clone"
+	}
+	return ""
+}
+
+// longLivedTarget describes an expression naming a long-lived native-heap
+// location: a package-level variable or a struct field (any depth), or ""
+// when the expression is local.
+func longLivedTarget(pass *analysis.Pass, e ast.Expr) string {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if analysis.IsPkgLevel(pass.TypesInfo.ObjectOf(x)) {
+				return "package-level variable " + x.Name
+			}
+			return ""
+		case *ast.SelectorExpr:
+			if v, ok := pass.TypesInfo.ObjectOf(x.Sel).(*types.Var); ok {
+				if v.IsField() {
+					return "struct field " + x.Sel.Name
+				}
+				if analysis.IsPkgLevel(v) {
+					return "package-level variable " + x.Sel.Name
+				}
+			}
+			return ""
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	tainted := map[*types.Var]bool{}
+
+	builtinName := func(call *ast.CallExpr) string {
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+			return ""
+		}
+		return id.Name
+	}
+
+	// isTainted decides whether an expression carries key material.
+	var isTainted func(e ast.Expr) bool
+	isTainted = func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.ObjectOf(x).(*types.Var)
+			return v != nil && tainted[v]
+		case *ast.SliceExpr:
+			return isTainted(x.X)
+		case *ast.CallExpr:
+			if idx, ok := sourceResult(pass, x); ok && idx == 0 {
+				return true
+			}
+			if cloneName(pass, x) != "" && len(x.Args) == 1 {
+				return isTainted(x.Args[0])
+			}
+			if builtinName(x) == "append" {
+				for _, a := range x.Args {
+					if isTainted(a) {
+						return true
+					}
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	taintLHS := func(lhs ast.Expr) {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok && !v.IsField() && !tainted[v] {
+				tainted[v] = true
+			}
+		}
+	}
+
+	// Taint fixpoint over the function's assignments.
+	var stmts []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := n.(ast.Stmt); ok {
+			stmts = append(stmts, s)
+		}
+		return true
+	})
+	for {
+		before := len(tainted)
+		for _, stmt := range stmts {
+			assign, ok := stmt.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			switch {
+			case len(assign.Lhs) == len(assign.Rhs):
+				for i, rhs := range assign.Rhs {
+					if isTainted(rhs) {
+						taintLHS(assign.Lhs[i])
+					}
+				}
+			case len(assign.Rhs) == 1:
+				// v, err := src(): taint the result at the source's index.
+				if call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr); ok {
+					if idx, ok := sourceResult(pass, call); ok && idx < len(assign.Lhs) {
+						taintLHS(assign.Lhs[idx])
+					}
+				}
+			}
+		}
+		if len(tainted) == before {
+			break
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name := cloneName(pass, n); name != "" && len(n.Args) == 1 && isTainted(n.Args[0]) {
+				pass.Reportf(n.Pos(), "%s duplicates private-key material on the native "+
+					"heap; keep exactly one transient copy (DESIGN.md §5.8)", name)
+			}
+			if builtinName(n) == "copy" && len(n.Args) == 2 && isTainted(n.Args[1]) {
+				if dst := longLivedTarget(pass, n.Args[0]); dst != "" {
+					pass.Reportf(n.Pos(), "copy writes private-key material into "+
+						"long-lived %s; key bytes must stay transient on the native heap", dst)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) || !isTainted(rhs) {
+					continue
+				}
+				if dst := longLivedTarget(pass, n.Lhs[i]); dst != "" {
+					pass.Reportf(n.Lhs[i].Pos(), "private-key material escapes into "+
+						"long-lived %s; key bytes must stay transient on the native heap", dst)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,22 @@
+package keycopy_test
+
+import (
+	"testing"
+
+	"memshield/internal/analysis/checktest"
+	"memshield/internal/analysis/keycopy"
+)
+
+func TestFlagged(t *testing.T) {
+	checktest.Run(t, "testdata", keycopy.Analyzer, "keycopybad")
+}
+
+func TestAllowed(t *testing.T) {
+	checktest.Run(t, "testdata", keycopy.Analyzer, "keycopyok")
+}
+
+// TestSourcePackage loads a fixture under the internal/ssl import path:
+// the packages that own key material are allowlisted wholesale.
+func TestSourcePackage(t *testing.T) {
+	checktest.Run(t, "testdata", keycopy.Analyzer, "memshield/internal/ssl")
+}

@@ -1,0 +1,64 @@
+// Package keycopybad exercises every pattern keycopy must flag: clones of
+// key material and escapes into long-lived native-heap locations.
+package keycopybad
+
+import (
+	"bytes"
+	"slices"
+
+	"memshield/internal/crypto/pemfile"
+	"memshield/internal/crypto/rsakey"
+	"memshield/internal/ssl"
+)
+
+// cachedKey is the canonical long-lived native location.
+var cachedKey []byte
+
+// registry holds key bytes behind a struct field.
+type registry struct {
+	der []byte
+}
+
+// Clones duplicates key material on the native heap.
+func Clones(key *rsakey.PrivateKey) []byte {
+	der := key.MarshalDER()
+	c1 := bytes.Clone(der)  // want `bytes\.Clone duplicates private-key material`
+	c2 := slices.Clone(der) // want `slices\.Clone duplicates private-key material`
+	_ = c1
+	return c2
+}
+
+// Escapes parks key material in long-lived locations.
+func Escapes(key *rsakey.PrivateKey, r *registry) {
+	pem := key.MarshalPEM()
+	cachedKey = pem                       // want `private-key material escapes into long-lived package-level variable cachedKey`
+	r.der = pem                           // want `private-key material escapes into long-lived struct field der`
+	cachedKey = append(cachedKey, pem...) // want `private-key material escapes into long-lived package-level variable cachedKey`
+	copy(r.der, pem)                      // want `copy writes private-key material into long-lived struct field der`
+}
+
+// DecodedDER taints the DER payload result of pemfile.Decode.
+func DecodedDER(data []byte) {
+	_, der, err := pemfile.Decode(data)
+	if err != nil {
+		return
+	}
+	cachedKey = der // want `private-key material escapes into long-lived package-level variable cachedKey`
+}
+
+// BigNumBytes taints BIGNUM reads out of simulated memory.
+func BigNumBytes(b *ssl.BigNum, r *registry) {
+	raw, err := b.Bytes()
+	if err != nil {
+		return
+	}
+	r.der = raw[2:] // want `private-key material escapes into long-lived struct field der`
+}
+
+// Renamed tracks taint through aliases and re-slices.
+func Renamed(key *rsakey.PrivateKey) {
+	der := key.MarshalDER()
+	alias := der
+	tail := alias[4:]
+	cachedKey = tail // want `private-key material escapes into long-lived package-level variable cachedKey`
+}

@@ -1,0 +1,31 @@
+// Package keycopyok exercises the patterns keycopy must allow: transient
+// key handling, non-key byte traffic, and the directive escape hatch.
+package keycopyok
+
+import (
+	"bytes"
+
+	"memshield/internal/crypto/rsakey"
+	"memshield/internal/kernel"
+)
+
+// stash is long-lived but only ever receives non-key bytes.
+var stash []byte
+
+// Transient hands key bytes straight to the simulated machine and lets
+// the native copy die — the sanctioned flow.
+func Transient(k *kernel.Kernel, key *rsakey.PrivateKey, path string) error {
+	return k.FS().WriteFile(path, key.MarshalPEM())
+}
+
+// NonKeyBytes may be cloned and cached freely.
+func NonKeyBytes(payload []byte) {
+	stash = bytes.Clone(payload)
+}
+
+// Suppressed documents a deliberate, reasoned exception.
+func Suppressed(key *rsakey.PrivateKey) {
+	der := key.MarshalDER()
+	//memlint:allow keycopy fixture: documenting the escape hatch
+	stash = der
+}

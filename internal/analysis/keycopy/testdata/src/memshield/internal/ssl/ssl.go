@@ -1,0 +1,24 @@
+// Package ssl (fixture) shadows the real internal/ssl for this test
+// session with just enough surface for the fixtures: BigNum.Bytes has the
+// same go/types full name, so it is recognized as a taint source — and
+// because the package path itself is allowlisted, nothing in here is
+// flagged even though it hoards key bytes.
+package ssl
+
+// BigNum stands in for the simulated-heap BIGNUM.
+type BigNum struct{ raw []byte }
+
+// Bytes mirrors the real taint-source signature.
+func (b *BigNum) Bytes() ([]byte, error) { return b.raw, nil }
+
+// montCache is the kind of long-lived stash the source packages own.
+var montCache [][]byte
+
+// Hoard would be a finding anywhere outside the allowlisted owners.
+func Hoard(b *BigNum) {
+	raw, err := b.Bytes()
+	if err != nil {
+		return
+	}
+	montCache = append(montCache, raw)
+}

@@ -1,0 +1,424 @@
+// Package load type-checks packages of this module from source using only
+// the standard library, producing the inputs analyzers need (ASTs +
+// go/types facts).
+//
+// Why not golang.org/x/tools/go/packages: the module is deliberately
+// dependency-free and builds offline, so the loader resolves imports
+// itself: paths under the module prefix map onto the repository tree,
+// fixture paths map onto a checktest root directory (root/src/<path>, the
+// analysistest layout), and everything else is delegated to the standard
+// library's source importer, which compiles stdlib packages from GOROOT.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package.
+type Package struct {
+	// PkgPath is the path the package was requested under; external test
+	// packages get the real package path plus a "_test" suffix.
+	PkgPath string
+	// Dir is the directory the sources were read from.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// testFiles marks files parsed from *_test.go.
+	testFiles map[*ast.File]bool
+}
+
+// IsTestFile reports whether f was parsed from a *_test.go file.
+func (p *Package) IsTestFile(f *ast.File) bool { return p.testFiles[f] }
+
+// Config controls a load.
+type Config struct {
+	// ModuleRoot is the directory containing go.mod. Empty means "walk
+	// upward from the working directory".
+	ModuleRoot string
+	// FixtureRoot, when set, resolves import paths from FixtureRoot/src/
+	// first — the analysistest testdata layout used by checktest.
+	FixtureRoot string
+	// Tests includes *_test.go files of the requested packages: in-package
+	// test files join their package; external "foo_test" packages are
+	// returned as additional packages.
+	Tests bool
+}
+
+// Loader memoizes type-checked packages across one load session.
+type loader struct {
+	cfg        Config
+	modulePath string
+	fset       *token.FileSet
+	std        types.Importer
+	pkgs       map[string]*Package // by PkgPath
+	loading    map[string]bool     // cycle detection
+}
+
+// Load resolves the patterns and type-checks every matched package.
+// Patterns: "./..." (whole module), "dir/..." (subtree), and plain
+// directories relative to the module root (with or without "./").
+func (cfg Config) Load(patterns ...string) ([]*Package, *token.FileSet, error) {
+	root := cfg.ModuleRoot
+	if root == "" {
+		var err error
+		if root, err = FindModuleRoot(); err != nil {
+			return nil, nil, err
+		}
+	}
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.ModuleRoot = root
+	modulePath, err := modulePathOf(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	ld := &loader{
+		cfg:        cfg,
+		modulePath: modulePath,
+		fset:       token.NewFileSet(),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+
+	targets, err := ld.expandPatterns(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []*Package
+	for _, tgt := range targets {
+		pkgs, err := ld.loadTarget(tgt)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, pkgs...)
+	}
+	return out, ld.fset, nil
+}
+
+// FindModuleRoot walks upward from the working directory to go.mod.
+func FindModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("load: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+func modulePathOf(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("load: no module line in %s/go.mod", root)
+}
+
+// target pairs a package directory with the import path to check it under.
+type target struct {
+	dir  string
+	path string
+}
+
+// expandPatterns turns CLI patterns (or checktest fixture import paths)
+// into load targets.
+func (ld *loader) expandPatterns(patterns []string) ([]target, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var targets []target
+	add := func(dir, path string) {
+		if !seen[dir] {
+			seen[dir] = true
+			targets = append(targets, target{dir, path})
+		}
+	}
+	addDir := func(dir string) error {
+		path, err := ld.importPathFor(dir)
+		if err != nil {
+			return err
+		}
+		add(dir, path)
+		return nil
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		// A fixture import path resolves through the fixture root and is
+		// checked under its own path (the analysistest layout).
+		if !recursive && ld.cfg.FixtureRoot != "" {
+			if dir := filepath.Join(ld.cfg.FixtureRoot, "src", filepath.FromSlash(pat)); hasGoFiles(dir) {
+				add(dir, pat)
+				continue
+			}
+		}
+		pat = strings.TrimPrefix(pat, "./")
+		base := filepath.Join(ld.cfg.ModuleRoot, filepath.FromSlash(pat))
+		if !recursive {
+			if err := addDir(base); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				return addDir(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].dir < targets[j].dir })
+	return targets, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a module directory back to its import path.
+func (ld *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(ld.cfg.ModuleRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		return ld.modulePath, nil
+	}
+	if strings.HasPrefix(rel, "../") {
+		return "", fmt.Errorf("load: directory %s outside module %s", dir, ld.cfg.ModuleRoot)
+	}
+	return ld.modulePath + "/" + rel, nil
+}
+
+// loadTarget type-checks one target package. With Tests set it follows
+// the `go list` model: the plain package stays memoized for importers,
+// while the analyzed target is an augmented variant that re-checks the
+// package with its in-package test files; external "foo_test" packages
+// come back as additional targets.
+func (ld *loader) loadTarget(tgt target) ([]*Package, error) {
+	path, dir := tgt.path, tgt.dir
+	pkg, err := ld.check(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	if !ld.cfg.Tests {
+		return []*Package{pkg}, nil
+	}
+	target, err := ld.checkAugmented(pkg)
+	if err != nil {
+		return nil, err
+	}
+	out := []*Package{target}
+	ext, err := ld.checkExternalTests(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	if ext != nil {
+		out = append(out, ext)
+	}
+	return out, nil
+}
+
+// resolveDir finds the source directory for an import path inside the
+// fixture root or the module, or "" for paths the std importer owns.
+func (ld *loader) resolveDir(path string) string {
+	if ld.cfg.FixtureRoot != "" {
+		dir := filepath.Join(ld.cfg.FixtureRoot, "src", filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir
+		}
+	}
+	if path == ld.modulePath {
+		return ld.cfg.ModuleRoot
+	}
+	if rest, ok := strings.CutPrefix(path, ld.modulePath+"/"); ok {
+		return filepath.Join(ld.cfg.ModuleRoot, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// Import implements types.Importer so the checker can resolve module and
+// fixture imports through the loader and stdlib imports through the source
+// importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dir := ld.resolveDir(path); dir != "" {
+		pkg, err := ld.check(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// parseDir parses the directory's .go files. select decides inclusion by
+// file name; pkgName filters by declared package name when non-empty.
+func (ld *loader) parseDir(dir string, include func(name string) bool, pkgName string) ([]*ast.File, map[*ast.File]bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	testFiles := map[*ast.File]bool{}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !include(name) {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pkgName != "" && f.Name.Name != pkgName {
+			continue
+		}
+		files = append(files, f)
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles[f] = true
+		}
+	}
+	return files, testFiles, nil
+}
+
+// check type-checks one package without test files, memoized by import
+// path (this is the variant importers must see).
+func (ld *loader) check(path, dir string) (*Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	files, testFiles, err := ld.parseDir(dir, func(name string) bool {
+		return !strings.HasSuffix(name, "_test.go")
+	}, "")
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	pkg, err := ld.typeCheck(path, dir, files, testFiles)
+	if err != nil {
+		return nil, err
+	}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// checkAugmented re-checks plain's package with its in-package test files
+// included (the `go list` "foo [foo.test]" variant). The result is not
+// memoized: importers keep seeing the plain variant.
+func (ld *loader) checkAugmented(plain *Package) (*Package, error) {
+	files, testFiles, err := ld.parseDir(plain.Dir, func(string) bool { return true },
+		plain.Types.Name())
+	if err != nil {
+		return nil, err
+	}
+	if len(testFiles) == 0 {
+		return plain, nil
+	}
+	return ld.typeCheck(plain.PkgPath, plain.Dir, files, testFiles)
+}
+
+// checkExternalTests loads the "package foo_test" files of dir, if any.
+func (ld *loader) checkExternalTests(path, dir string) (*Package, error) {
+	var base string
+	if plain, _, err := ld.parseDir(dir, func(name string) bool { return !strings.HasSuffix(name, "_test.go") }, ""); err == nil && len(plain) > 0 {
+		base = plain[0].Name.Name
+	}
+	files, testFiles, err := ld.parseDir(dir,
+		func(name string) bool { return strings.HasSuffix(name, "_test.go") },
+		base+"_test")
+	if err != nil || len(files) == 0 {
+		return nil, err
+	}
+	return ld.typeCheck(path+"_test", dir, files, testFiles)
+}
+
+func (ld *loader) typeCheck(path, dir string, files []*ast.File, testFiles map[*ast.File]bool) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		PkgPath:   path,
+		Dir:       dir,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		testFiles: testFiles,
+	}, nil
+}

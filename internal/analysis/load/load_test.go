@@ -1,0 +1,89 @@
+package load_test
+
+import (
+	"strings"
+	"testing"
+
+	"memshield/internal/analysis/load"
+)
+
+// TestLoadModulePackage type-checks a real module package, resolving its
+// module-local and stdlib imports from source.
+func TestLoadModulePackage(t *testing.T) {
+	root, err := load.FindModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := load.Config{ModuleRoot: root}
+	pkgs, fset, err := cfg.Load("./internal/scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.PkgPath != "memshield/internal/scan" {
+		t.Errorf("PkgPath = %q", pkg.PkgPath)
+	}
+	if pkg.Types.Scope().Lookup("Scanner") == nil {
+		t.Error("type Scanner not found in checked package")
+	}
+	if fset == nil || len(pkg.Files) == 0 {
+		t.Error("missing fset or files")
+	}
+}
+
+// TestLoadWithTests returns the augmented in-package variant and the
+// external test package.
+func TestLoadWithTests(t *testing.T) {
+	root, err := load.FindModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := load.Config{ModuleRoot: root, Tests: true}
+	pkgs, _, err := cfg.Load("./internal/mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawTestFile bool
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if pkg.IsTestFile(f) {
+				sawTestFile = true
+			}
+		}
+	}
+	if !sawTestFile {
+		t.Error("Tests:true loaded no test files")
+	}
+}
+
+// TestRecursivePattern expands ./... without descending into testdata.
+func TestRecursivePattern(t *testing.T) {
+	root, err := load.FindModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := load.Config{ModuleRoot: root}
+	pkgs, _, err := cfg.Load("./internal/analysis/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		seen[pkg.PkgPath] = true
+		if strings.Contains(pkg.PkgPath, "testdata") {
+			t.Errorf("descended into testdata: %s", pkg.PkgPath)
+		}
+	}
+	for _, want := range []string{
+		"memshield/internal/analysis",
+		"memshield/internal/analysis/detrand",
+		"memshield/internal/analysis/load",
+	} {
+		if !seen[want] {
+			t.Errorf("missing package %s (got %v)", want, seen)
+		}
+	}
+}

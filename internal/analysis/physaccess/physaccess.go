@@ -1,0 +1,205 @@
+// Package physaccess implements the memlint analyzer guarding the
+// simulated physical memory's access discipline (DESIGN.md §1, §5.1): the
+// machine's RAM is one byte slice owned by internal/mem, and every frame
+// access outside that package must go through the Memory API
+// (Read/Write/Zero/CopyPage/FindAll) or the frame metadata, so that the
+// simulator can keep frame state, reverse maps and zeroing policies
+// truthful.
+//
+// The one sanctioned alias into the array is Memory.View, which models "the
+// attacker captured these bytes" without doubling memory. Two rules follow:
+//
+//  1. Calling View at all is restricted to the disclosure-modelling
+//     packages (the scanner, the key finders, the attack drivers and the
+//     public facade). Anyone else indexing or slicing the physical array
+//     is bypassing the frame APIs.
+//  2. A view is read-only everywhere: writing through it (element
+//     assignment, copy-into, clear, append-in-place) would mutate physical
+//     memory behind the kernel's back, so it is flagged in every package.
+//
+// Views are tracked by local dataflow: variables assigned from a View call
+// or re-sliced from a tracked view inherit its taint.
+package physaccess
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"memshield/internal/analysis"
+)
+
+// Analyzer is the physaccess analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "physaccess",
+	Doc: "restrict direct access to the simulated physical-memory array to " +
+		"internal/mem and the disclosure-modelling packages; views are read-only",
+	Run: run,
+}
+
+// viewFullName is the go/types full name of the sanctioned aliasing API.
+const viewFullName = "(*memshield/internal/mem.Memory).View"
+
+// readAllowed may call View: they model disclosure (reading captured
+// bytes), which is the method's documented purpose.
+var readAllowed = []string{
+	"memshield",                    // facade: DumpMemory
+	"memshield/internal/scan",      // the scanmemory LKM analogue
+	"memshield/internal/keyfinder", // public-key-only recovery over captures
+	"memshield/internal/attack/",   // the disclosure attacks themselves
+	"memshield/internal/mem",       // owns the array
+}
+
+func run(pass *analysis.Pass) error {
+	pkg := strings.TrimSuffix(pass.PkgPath, "_test")
+	if pkg == "memshield/internal/mem" {
+		return nil
+	}
+	mayView := false
+	for _, entry := range readAllowed {
+		if pkg == entry || (strings.HasSuffix(entry, "/") && strings.HasPrefix(pkg, entry)) {
+			mayView = true
+			break
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFunc(pass, fd.Body, mayView)
+			return true
+		})
+	}
+	return nil
+}
+
+// isViewCall reports whether e is a call to Memory.View.
+func isViewCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.FuncObj(pass.TypesInfo, call)
+	return fn != nil && fn.FullName() == viewFullName
+}
+
+// baseVar unwraps parens and slice expressions down to the variable an
+// expression reads, or nil.
+func baseVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.ObjectOf(x).(*types.Var)
+			return v
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// builtinName returns the name of the built-in function a call invokes,
+// or "".
+func builtinName(pass *analysis.Pass, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return ""
+	}
+	return id.Name
+}
+
+// checkFunc taints view-derived variables by local fixpoint dataflow, then
+// reports View calls (when the package may not take views) and any write
+// through a view.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, mayView bool) {
+	tainted := map[*types.Var]bool{}
+	isTainted := func(e ast.Expr) bool {
+		if isViewCall(pass, e) {
+			return true
+		}
+		v := baseVar(pass, e)
+		return v != nil && tainted[v]
+	}
+	taintLHS := func(lhs ast.Expr) {
+		if v := baseVar(pass, lhs); v != nil && !tainted[v] {
+			tainted[v] = true
+		}
+	}
+	// Fixpoint: each round may discover new tainted vars via copies like
+	// `alias := view` appearing before later uses.
+	for {
+		before := len(tainted)
+		for _, stmt := range flatten(body) {
+			assign, ok := stmt.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			switch {
+			case len(assign.Lhs) == len(assign.Rhs):
+				for i, rhs := range assign.Rhs {
+					if isTainted(rhs) {
+						taintLHS(assign.Lhs[i])
+					}
+				}
+			case len(assign.Rhs) == 1:
+				// v, err := m.View(...): the data result is Lhs[0].
+				if isViewCall(pass, assign.Rhs[0]) {
+					taintLHS(assign.Lhs[0])
+				}
+			}
+		}
+		if len(tainted) == before {
+			break
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !mayView && isViewCall(pass, n) {
+				pass.Reportf(n.Pos(), "Memory.View aliases the physical-memory array; "+
+					"outside the disclosure packages use Memory.Read or the frame APIs")
+			}
+			switch builtinName(pass, n) {
+			case "copy", "append":
+				if len(n.Args) > 0 && isTainted(n.Args[0]) {
+					pass.Reportf(n.Pos(), "%s writes through a physical-memory view; "+
+						"views are read-only — use Memory.Write to mutate simulated RAM",
+						builtinName(pass, n))
+				}
+			case "clear":
+				if len(n.Args) == 1 && isTainted(n.Args[0]) {
+					pass.Reportf(n.Pos(), "clear writes through a physical-memory view; "+
+						"views are read-only — use Memory.Zero to scrub simulated RAM")
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if ok && isTainted(idx.X) {
+					pass.Reportf(lhs.Pos(), "element assignment writes through a "+
+						"physical-memory view; views are read-only — use Memory.Write")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// flatten returns every statement in the block, recursively.
+func flatten(body *ast.BlockStmt) []ast.Stmt {
+	var out []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := n.(ast.Stmt); ok {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}

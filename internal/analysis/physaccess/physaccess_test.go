@@ -1,0 +1,18 @@
+package physaccess_test
+
+import (
+	"testing"
+
+	"memshield/internal/analysis/checktest"
+	"memshield/internal/analysis/physaccess"
+)
+
+func TestFlagged(t *testing.T) {
+	checktest.Run(t, "testdata", physaccess.Analyzer, "physbad")
+}
+
+// TestDisclosurePackage checks the read-allowlist (fixture under the
+// internal/attack/ prefix) and that writes stay flagged inside it.
+func TestDisclosurePackage(t *testing.T) {
+	checktest.Run(t, "testdata", physaccess.Analyzer, "memshield/internal/attack/fakeleak")
+}

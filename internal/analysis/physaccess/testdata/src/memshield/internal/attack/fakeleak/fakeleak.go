@@ -1,0 +1,30 @@
+// Package fakeleak sits under the internal/attack/ prefix, so it models a
+// disclosure: reading through views is its charter and must not be
+// flagged. Writing through a view stays forbidden even here.
+package fakeleak
+
+import "memshield/internal/mem"
+
+// Capture reads disclosed bytes through a view — the sanctioned use.
+func Capture(m *mem.Memory) []byte {
+	v, err := m.View(0, 64)
+	if err != nil {
+		return nil
+	}
+	out := make([]byte, 0, len(v))
+	out = append(out, v...)
+	return out
+}
+
+// Tamper is still a violation: disclosure is read-only.
+func Tamper(m *mem.Memory) {
+	v, _ := m.View(0, 8)
+	v[3] = 0xff // want `element assignment writes through a physical-memory view`
+}
+
+// Scrub documents the directive escape hatch.
+func Scrub(m *mem.Memory) {
+	v, _ := m.View(0, 8)
+	//memlint:allow physaccess fixture: documenting the escape hatch
+	clear(v)
+}

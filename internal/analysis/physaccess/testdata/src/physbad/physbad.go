@@ -1,0 +1,33 @@
+// Package physbad exercises every pattern physaccess must flag: it is not
+// a disclosure package, so taking a view at all is a finding, and writes
+// through views are findings everywhere.
+package physbad
+
+import "memshield/internal/mem"
+
+// TakeView is plain indexing-bypass of the frame APIs.
+func TakeView(m *mem.Memory) byte {
+	v, err := m.View(0, 8) // want `Memory\.View aliases the physical-memory array`
+	if err != nil {
+		return 0
+	}
+	return v[0]
+}
+
+// WriteThrough mutates physical memory behind the kernel's back in every
+// way the analyzer models.
+func WriteThrough(m *mem.Memory, src []byte) {
+	v, _ := m.View(0, 8) // want `Memory\.View aliases the physical-memory array`
+	v[0] = 1             // want `element assignment writes through a physical-memory view`
+	copy(v, src)         // want `copy writes through a physical-memory view`
+	clear(v)             // want `clear writes through a physical-memory view`
+	_ = append(v, 1)     // want `append writes through a physical-memory view`
+}
+
+// Aliased tracks taint through renames and re-slices.
+func Aliased(m *mem.Memory) {
+	v, _ := m.View(0, 16) // want `Memory\.View aliases the physical-memory array`
+	alias := v
+	window := alias[2:8]
+	window[0] = 9 // want `element assignment writes through a physical-memory view`
+}

@@ -1,0 +1,172 @@
+// Package simerrcheck implements the memlint analyzer for the simulated
+// syscall surface: every error returned by the kernel/libc layers
+// (internal/mem, internal/kernel and its subsystems, internal/libc) must
+// be checked. These APIs — Mmap, Mlock, Fork, Malloc, Free, Write, Zero
+// and friends — are the simulator's syscalls; a dropped error usually
+// means a page was never locked, never zeroed or never mapped, which
+// quietly breaks the §5 invariants (a missed Mlock error, for instance,
+// lets "locked" key pages swap out) while every test keeps passing.
+//
+// Flagged forms, in non-test files:
+//
+//	k.Exit(pid)             // expression statement discards the error
+//	_ = h.Free(p)           // blank assignment
+//	v, _ := h.Read(p, n)    // blank in the error position
+//	defer h.Free(p)         // deferred or spawned call, error unobservable
+//
+// Genuine can't-fail sites take a //memlint:allow simerrcheck directive
+// with a reason.
+package simerrcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"memshield/internal/analysis"
+)
+
+// Analyzer is the simerrcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "simerrcheck",
+	Doc: "errors returned by the simulated kernel/libc syscall surface " +
+		"(internal/mem, internal/kernel/..., internal/libc) must be checked",
+	Run: run,
+}
+
+// simPrefixes are the import-path prefixes of the simulated syscall layer.
+var simPrefixes = []string{
+	"memshield/internal/mem",
+	"memshield/internal/kernel", // includes alloc, vm, fs, pagecache, proc
+	"memshield/internal/libc",
+}
+
+// isSimFunc reports whether fn belongs to the simulated syscall surface.
+func isSimFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	for _, p := range simPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// errorIndex returns the position of fn's trailing error result, or -1.
+func errorIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return -1
+	}
+	last := sig.Results().Len() - 1
+	if named, ok := sig.Results().At(last).Type().(*types.Named); ok {
+		if named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return last
+		}
+	}
+	return -1
+}
+
+// simErrCall reports whether call invokes a sim-syscall API with an error
+// result, returning the function and the error's result index.
+func simErrCall(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, int, bool) {
+	fn := analysis.FuncObj(pass.TypesInfo, call)
+	if !isSimFunc(fn) {
+		return nil, 0, false
+	}
+	idx := errorIndex(fn)
+	if idx < 0 {
+		return nil, 0, false
+	}
+	return fn, idx, true
+}
+
+func run(pass *analysis.Pass) error {
+	// The layer may discard its own errors where it proves them impossible.
+	pkg := strings.TrimSuffix(pass.PkgPath, "_test")
+	for _, p := range simPrefixes {
+		if pkg == p || strings.HasPrefix(pkg, p+"/") {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				reportIfDiscarded(pass, n.X, "discarded")
+			case *ast.GoStmt:
+				reportIfDiscarded(pass, n.Call, "unobservable in go statement")
+			case *ast.DeferStmt:
+				reportIfDiscarded(pass, n.Call, "unobservable in deferred call")
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportIfDiscarded flags e when it is a sim-syscall call whose error is
+// dropped outright.
+func reportIfDiscarded(pass *analysis.Pass, e ast.Expr, how string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if fn, _, ok := simErrCall(pass, call); ok {
+		pass.Reportf(call.Pos(), "error from simulated syscall %s %s; "+
+			"unchecked kernel/libc errors break the §5 invariants", fn.Name(), how)
+	}
+}
+
+// checkAssign flags `v, _ := call()` and `_ = call()` where the blank
+// lands on the error result.
+func checkAssign(pass *analysis.Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		// Parallel assignment `a, b = f(), g()`: each RHS has one result,
+		// so a blank LHS in position i discards RHS i entirely.
+		for i, rhs := range assign.Rhs {
+			if i >= len(assign.Lhs) || !isBlank(assign.Lhs[i]) {
+				continue
+			}
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fn, _, ok := simErrCall(pass, call); ok {
+				pass.Reportf(call.Pos(), "error from simulated syscall %s assigned to "+
+					"blank; unchecked kernel/libc errors break the §5 invariants", fn.Name())
+			}
+		}
+		return
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, errIdx, ok := simErrCall(pass, call)
+	if !ok {
+		return
+	}
+	// Single-result call: `_ = f()`. Multi-result: `v, _ := f()`.
+	pos := errIdx
+	if len(assign.Lhs) == 1 {
+		pos = 0
+	}
+	if pos < len(assign.Lhs) && isBlank(assign.Lhs[pos]) {
+		pass.Reportf(call.Pos(), "error from simulated syscall %s assigned to blank; "+
+			"unchecked kernel/libc errors break the §5 invariants", fn.Name())
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,16 @@
+package simerrcheck_test
+
+import (
+	"testing"
+
+	"memshield/internal/analysis/checktest"
+	"memshield/internal/analysis/simerrcheck"
+)
+
+func TestFlagged(t *testing.T) {
+	checktest.Run(t, "testdata", simerrcheck.Analyzer, "simerrbad")
+}
+
+func TestAllowed(t *testing.T) {
+	checktest.Run(t, "testdata", simerrcheck.Analyzer, "simerrok")
+}

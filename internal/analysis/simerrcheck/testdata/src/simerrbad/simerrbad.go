@@ -1,0 +1,37 @@
+// Package simerrbad exercises every error-discard pattern simerrcheck
+// must flag on the simulated syscall surface.
+package simerrbad
+
+import (
+	"memshield/internal/kernel"
+	"memshield/internal/kernel/vm"
+	"memshield/internal/libc"
+	"memshield/internal/mem"
+)
+
+// Discards drops syscall errors outright.
+func Discards(k *kernel.Kernel, h *libc.Heap, p vm.VAddr) {
+	k.Exit(1)         // want `error from simulated syscall Exit discarded`
+	h.Free(p)         // want `error from simulated syscall Free discarded`
+	_ = h.FreeZero(p) // want `error from simulated syscall FreeZero assigned to blank`
+}
+
+// BlankError hides the error behind a blank in multi-result calls.
+func BlankError(h *libc.Heap, m *mem.Memory) []byte {
+	buf, _ := h.Read(0, 16) // want `error from simulated syscall Read assigned to blank`
+	out, _ := m.Read(0, 16) // want `error from simulated syscall Read assigned to blank`
+	_ = buf
+	return out
+}
+
+// Unobservable fires the call where no one can see the error.
+func Unobservable(k *kernel.Kernel, h *libc.Heap, p vm.VAddr) {
+	defer h.Free(p) // want `error from simulated syscall Free unobservable in deferred call`
+	go k.Exit(2)    // want `error from simulated syscall Exit unobservable in go statement`
+}
+
+// DeepAPIs reach the kernel subsystems through the facade.
+func DeepAPIs(k *kernel.Kernel, pid int, addr vm.VAddr) {
+	k.VM().Mlock(pid, addr, 1)    // want `error from simulated syscall Mlock discarded`
+	k.Mem().Zero(0, mem.PageSize) // want `error from simulated syscall Zero discarded`
+}

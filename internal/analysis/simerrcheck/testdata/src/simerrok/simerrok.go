@@ -1,0 +1,42 @@
+// Package simerrok exercises the patterns simerrcheck must allow: checked
+// errors, error-free APIs, non-sim calls, and the directive escape hatch.
+package simerrok
+
+import (
+	"fmt"
+
+	"memshield/internal/kernel"
+	"memshield/internal/kernel/vm"
+	"memshield/internal/libc"
+)
+
+// Checked handles every error.
+func Checked(k *kernel.Kernel, h *libc.Heap, p vm.VAddr) error {
+	if err := h.Free(p); err != nil {
+		return fmt.Errorf("free: %w", err)
+	}
+	buf, err := h.Read(0, 8)
+	if err != nil {
+		return err
+	}
+	_ = buf
+	return k.Exit(1)
+}
+
+// NoError calls sim APIs without error results; nothing to check.
+func NoError(k *kernel.Kernel) int {
+	k.Tick()
+	return int(k.Clock()) + k.Mem().NumPages()
+}
+
+// NonSim discards errors from outside the syscall surface; other tooling
+// owns those.
+func NonSim() {
+	fmt.Println("not a simulated syscall")
+}
+
+// Suppressed documents a deliberate, reasoned exception.
+func Suppressed(k *kernel.Kernel) {
+	//memlint:allow simerrcheck fixture: documenting the escape hatch
+	k.Exit(1)
+}

@@ -90,20 +90,22 @@ func Run(k *kernel.Kernel, patterns []scan.Pattern, rng *rand.Rand, cfg Config) 
 		}
 		dump = view
 	} else {
-		// Wrap-around: stitch the tail and head into one buffer so
-		// patterns spanning the seam are still found.
+		// Wrap-around: stitch the tail and head into one attacker-owned
+		// buffer so patterns spanning the seam are still found. The views
+		// are only read from; the stitched buffer keeps a separate name so
+		// it is never confused with a live memory alias.
 		head := memSize - offset
-		dump = make([]byte, 0, size)
+		stitched := make([]byte, 0, size)
 		tail, err := k.Mem().View(mem.Addr(offset), head)
 		if err != nil {
 			return Result{}, fmt.Errorf("ttyleak: %w", err)
 		}
-		dump = append(dump, tail...)
+		stitched = append(stitched, tail...)
 		front, err := k.Mem().View(0, size-head)
 		if err != nil {
 			return Result{}, fmt.Errorf("ttyleak: %w", err)
 		}
-		dump = append(dump, front...)
+		dump = append(stitched, front...)
 	}
 	return Result{
 		Offset:  offset,

@@ -155,15 +155,15 @@ func D2iPrivateKey(h *libc.Heap, pemData []byte, opts ...LoadOption) (*RSA, erro
 	}
 	key, err := rsakey.ParsePEM(pemData)
 	if err != nil {
-		_ = h.FreeZero(pemBuf)
-		return nil, fmt.Errorf("ssl: d2i: %w", err)
+		// A failed scrub would leave PEM text live in simulated memory:
+		// surface it alongside the parse error rather than dropping it.
+		return nil, errors.Join(fmt.Errorf("ssl: d2i: %w", err), h.FreeZero(pemBuf))
 	}
 	// The base64-decoded DER buffer (d2i input) — contains d, p, q raw.
 	der := key.MarshalDER()
 	derBuf, err := h.Malloc(len(der))
 	if err != nil {
-		_ = h.FreeZero(pemBuf)
-		return nil, fmt.Errorf("ssl: d2i: %w", err)
+		return nil, errors.Join(fmt.Errorf("ssl: d2i: %w", err), h.FreeZero(pemBuf))
 	}
 	if err := h.Write(derBuf, der); err != nil {
 		return nil, err
