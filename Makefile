@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fuzz figures
+.PHONY: all build test race lint fuzz figures figures-smoke
 
 all: build lint test
 
@@ -31,3 +31,9 @@ fuzz:
 
 figures:
 	$(GO) run ./cmd/figures -all
+
+# Scaled-down full-catalog run on 4 workers under the race detector: a fast
+# end-to-end check that the parallel trial scheduler is race-free and that
+# every experiment still completes. CI runs this on each PR.
+figures-smoke:
+	$(GO) run -race ./cmd/figures -all -scale 0.1 -workers 4 > /dev/null

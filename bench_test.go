@@ -6,6 +6,7 @@
 package memshield
 
 import (
+	"flag"
 	"testing"
 
 	"memshield/internal/figures"
@@ -13,9 +14,16 @@ import (
 	"memshield/internal/workload"
 )
 
+// benchWorkers sets how many goroutines each experiment fans its cells
+// across (0 = one per CPU). Results are byte-identical at any value, so
+// this only changes the wall-clock side of the reported metrics:
+//
+//	go test -bench=Figure -bench-workers=1 .
+var benchWorkers = flag.Int("bench-workers", 0, "worker goroutines per experiment (0 = one per CPU)")
+
 // benchCfg is the shared scaled-down experiment configuration.
 func benchCfg() figures.Config {
-	return figures.Config{Seed: 2007, Scale: 0.2}
+	return figures.Config{Seed: 2007, Scale: 0.2, Workers: *benchWorkers}
 }
 
 // runEntry executes one catalog experiment per iteration.

@@ -6,6 +6,11 @@
 //	figures -id fig1              # regenerate one figure
 //	figures -all                  # regenerate everything (slow at scale 1)
 //	figures -id fig3 -scale 0.2   # scaled-down quick run
+//	figures -all -workers 1       # sequential reference execution
+//
+// Independent experiment cells run on up to -workers goroutines; the output
+// is byte-identical at every worker count (DESIGN.md §7), so -workers only
+// trades wall-clock time for cores.
 //
 // Output is plain text: data tables for the sweep figures, x/+ scatter
 // plots for the timelines, paired bars for the performance comparisons.
@@ -38,12 +43,13 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 2007, "experiment seed")
 		memPages = fs.Int("mem-pages", 0, "override machine size in pages (0 = per-experiment default)")
 		keyBits  = fs.Int("key-bits", 0, "RSA modulus bits (0 = 512)")
+		workers  = fs.Int("workers", 0, "worker goroutines for experiment cells (0 = one per CPU; output is identical at any count)")
 		plotDir  = fs.String("plot-dir", "", "also write gnuplot .dat/.gp artifacts into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := figures.Config{Seed: *seed, Scale: *scale, MemPages: *memPages, KeyBits: *keyBits}
+	cfg := figures.Config{Seed: *seed, Scale: *scale, MemPages: *memPages, KeyBits: *keyBits, Workers: *workers}
 	switch {
 	case *list:
 		for _, e := range figures.Catalog() {

@@ -3,8 +3,10 @@ package memshield
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
 
+	"memshield/internal/figures"
 	"memshield/internal/protect"
 	"memshield/internal/sim"
 )
@@ -59,6 +61,48 @@ func snapshotTimeline(cfg sim.Config) ([]byte, error) {
 		}
 	}
 	return buf.Bytes(), nil
+}
+
+// TestWorkerCountInvariance is the parallel-determinism golden test
+// (DESIGN.md §7): rendering an experiment with -workers=1 (the sequential
+// reference path in internal/runner, zero goroutines) and -workers=4 must
+// produce byte-identical output. It covers one sweep per cell shape — an
+// ext2 grid (fig1), a single-run timeline (fig5), and the per-trial
+// re-examination table — at a reduced scale so the three pairs stay fast.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, id := range []string{"fig1", "fig5", "ext2-reexam"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			seq := renderWithWorkers(t, id, 1)
+			par := renderWithWorkers(t, id, 4)
+			if seq != par {
+				t.Fatalf("workers=1 vs workers=4 diverge:\n%s",
+					firstDiff([]byte(seq), []byte(par)))
+			}
+			// And at the machine's natural width, in case 4 exceeds or
+			// undershoots GOMAXPROCS in a way that perturbs scheduling.
+			if ncpu := renderWithWorkers(t, id, runtime.NumCPU()); ncpu != seq {
+				t.Fatalf("workers=1 vs workers=NumCPU diverge:\n%s",
+					firstDiff([]byte(seq), []byte(ncpu)))
+			}
+		})
+	}
+}
+
+// renderWithWorkers runs one catalog experiment at the given worker count
+// and returns its rendered text — the exact bytes cmd/figures would print.
+func renderWithWorkers(t *testing.T, id string, workers int) string {
+	t.Helper()
+	entry, ok := figures.Lookup(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	res, err := entry.Run(figures.Config{Seed: goldenSeed, Scale: 0.1, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Render()
 }
 
 // firstDiff renders the first line where the two streams diverge.

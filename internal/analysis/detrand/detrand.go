@@ -12,6 +12,10 @@
 //     source, which is seeded per-process, not per-experiment. All
 //     randomness must flow through seeded *rand.Rand values obtained from
 //     internal/stats (methods on a *rand.Rand value are fine).
+//   - any import of time inside internal/runner — the trial scheduler's
+//     determinism contract promises byte-identical output at every worker
+//     count, so it must never schedule, batch or time out on the wall
+//     clock (not even via the allowed time helpers).
 //
 // Allowlisted packages: internal/stats (the one place that constructs
 // seeded sources) and internal/crypto/rsakey (its documented deterministic
@@ -62,6 +66,10 @@ func run(pass *analysis.Pass) error {
 	if allowedPkgs[strings.TrimSuffix(pass.PkgPath, "_test")] {
 		return nil
 	}
+	// internal/runner promises byte-identical results at any worker count;
+	// wall-clock scheduling of any kind would break that silently, so the
+	// whole time package is off limits there.
+	noTime := strings.TrimSuffix(pass.PkgPath, "_test") == "memshield/internal/runner"
 	for _, f := range pass.Files {
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
@@ -71,6 +79,11 @@ func run(pass *analysis.Pass) error {
 			if path == "crypto/rand" {
 				pass.Reportf(imp.Pos(), "import of crypto/rand breaks determinism: "+
 					"generate keys from a seeded stats.NewReader stream instead")
+			}
+			if noTime && path == "time" {
+				pass.Reportf(imp.Pos(), "internal/runner may not import time: the trial "+
+					"scheduler's output must be byte-identical at every worker count, "+
+					"so no wall-clock scheduling (DESIGN.md §7)")
 			}
 		}
 	}

@@ -21,3 +21,10 @@ func TestAllowed(t *testing.T) {
 func TestAllowlistedPackage(t *testing.T) {
 	checktest.Run(t, "testdata", detrand.Analyzer, "memshield/internal/stats")
 }
+
+// TestRunnerTimeBan loads a fixture under the internal/runner import path:
+// the trial scheduler may not import time at all, even for helpers the
+// module-wide rules allow.
+func TestRunnerTimeBan(t *testing.T) {
+	checktest.Run(t, "testdata", detrand.Analyzer, "memshield/internal/runner")
+}

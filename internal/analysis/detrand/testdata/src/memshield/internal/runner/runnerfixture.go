@@ -1,0 +1,13 @@
+// Package runner is a fixture shadowing memshield/internal/runner: the
+// trial scheduler's determinism contract (byte-identical output at every
+// worker count) bans the whole time package there — even helpers like
+// time.Sleep that the module-wide rules would otherwise allow.
+package runner
+
+import "time" // want `internal/runner may not import time`
+
+// Throttle paces workers off the wall clock — exactly the kind of
+// scheduling that diverges between runs.
+func Throttle() {
+	time.Sleep(time.Millisecond)
+}

@@ -13,6 +13,20 @@
 //	_ = h.Free(p)           // blank assignment
 //	v, _ := h.Read(p, n)    // blank in the error position
 //	defer h.Free(p)         // deferred or spawned call, error unobservable
+//	err = h.Free(p)         // named variable that is never read afterwards
+//
+// The last form is a use-def pass: an assignment of a sim-syscall error to a
+// named variable is flagged when nothing ever reads that variable after the
+// assignment. The compiler's "declared and not used" check already rejects a
+// variable with zero reads, so the pass targets the dangling assignments the
+// compiler accepts: a variable read once and then re-assigned on the way out
+// (`err != nil` checked for the first call only), and the shadowing trap
+// where the check below an assignment reads an inner err := ..., not the
+// outer variable. Shadowing falls out of object identity; "after" is lexical
+// position, with three conservative escapes that make a read count
+// regardless of position — the read sits in a different function or closure
+// than the assignment, or both sit in the same loop (back-edge order).
+// Named function results are exempt: a bare return reads them implicitly.
 //
 // Genuine can't-fail sites take a //memlint:allow simerrcheck directive
 // with a reason.
@@ -20,7 +34,9 @@ package simerrcheck
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 
 	"memshield/internal/analysis"
@@ -92,6 +108,7 @@ func run(pass *analysis.Pass) error {
 			return nil
 		}
 	}
+	ud := newUseDef(pass)
 	for _, f := range pass.Files {
 		if pass.IsTestFile(f) {
 			continue
@@ -109,8 +126,218 @@ func run(pass *analysis.Pass) error {
 			}
 			return true
 		})
+		ud.collect(f)
+	}
+	ud.report(pass)
+	return nil
+}
+
+// span is a half-open source range.
+type span struct{ pos, end token.Pos }
+
+func (s span) contains(p token.Pos) bool { return s.pos <= p && p < s.end }
+
+// errAssign records one sim-error assignment: which variable, where, by
+// which callee, inside which function and loops.
+type errAssign struct {
+	obj   types.Object
+	pos   token.Pos
+	fn    string
+	fun   ast.Node // innermost enclosing FuncDecl/FuncLit
+	loops []span   // enclosing for/range bodies, innermost last
+}
+
+// varRead records one read of a variable: where and in which function.
+type varRead struct {
+	pos token.Pos
+	fun ast.Node
+}
+
+// useDef is the use-def pass: it records every named variable that receives
+// a sim-syscall error and every identifier that reads a variable, then flags
+// assignments with no read afterwards. Collection spans the whole package
+// before reporting, so package-level variables assigned in one file and read
+// in another stay quiet.
+type useDef struct {
+	pass     *analysis.Pass
+	assigned []errAssign
+	reads    map[types.Object][]varRead
+	// exempt holds named function results (a bare return reads them).
+	exempt map[types.Object]bool
+	// writes holds identifier nodes that are assignment targets, so the
+	// read sweep can skip them.
+	writes map[*ast.Ident]bool
+}
+
+func newUseDef(pass *analysis.Pass) *useDef {
+	return &useDef{
+		pass:   pass,
+		reads:  make(map[types.Object][]varRead),
+		exempt: make(map[types.Object]bool),
+		writes: make(map[*ast.Ident]bool),
+	}
+}
+
+// obj resolves an identifier to its variable object, whether the identifier
+// defines it (:=) or re-assigns it (=).
+func (ud *useDef) obj(id *ast.Ident) types.Object {
+	if o := ud.pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return ud.pass.TypesInfo.Uses[id]
+}
+
+// collect gathers assignments, reads and exemptions from one file. The
+// walk keeps the ancestor stack so each event knows its enclosing function
+// and loops; parents are visited before children, so assignment targets are
+// registered in writes before their identifiers are reached.
+func (ud *useDef) collect(f *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			ud.exemptResults(n.Type)
+		case *ast.FuncLit:
+			ud.exemptResults(n.Type)
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					ud.writes[id] = true
+				}
+			}
+			ud.recordErrAssign(n, stack)
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := ast.Unparen(e).(*ast.Ident); e != nil && ok {
+					ud.writes[id] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				ud.writes[id] = true
+			}
+		case *ast.Ident:
+			// Any identifier that is not an assignment target reads its
+			// variable — conditions, arguments, returns, &err alike.
+			if !ud.writes[n] {
+				if o := ud.pass.TypesInfo.Uses[n]; o != nil {
+					ud.reads[o] = append(ud.reads[o], varRead{pos: n.Pos(), fun: enclosingFunc(stack)})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// enclosingFunc returns the innermost FuncDecl/FuncLit on the stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
 	}
 	return nil
+}
+
+// enclosingLoops returns the for/range spans on the stack.
+func enclosingLoops(stack []ast.Node) []span {
+	var out []span
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			out = append(out, span{pos: n.Pos(), end: n.End()})
+		}
+	}
+	return out
+}
+
+// exemptResults marks named result variables as implicitly read.
+func (ud *useDef) exemptResults(ft *ast.FuncType) {
+	if ft == nil || ft.Results == nil {
+		return
+	}
+	for _, field := range ft.Results.List {
+		for _, name := range field.Names {
+			if o := ud.pass.TypesInfo.Defs[name]; o != nil {
+				ud.exempt[o] = true
+			}
+		}
+	}
+}
+
+// recordErrAssign notes a sim-syscall error landing in a named variable.
+func (ud *useDef) recordErrAssign(assign *ast.AssignStmt, stack []ast.Node) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, errIdx, ok := simErrCall(ud.pass, call)
+	if !ok {
+		return
+	}
+	pos := errIdx
+	if len(assign.Lhs) == 1 {
+		pos = 0
+	}
+	if pos >= len(assign.Lhs) {
+		return
+	}
+	id, ok := ast.Unparen(assign.Lhs[pos]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	o := ud.obj(id)
+	if o == nil {
+		return
+	}
+	ud.assigned = append(ud.assigned, errAssign{
+		obj: o, pos: call.Pos(), fn: fn.Name(),
+		fun: enclosingFunc(stack), loops: enclosingLoops(stack),
+	})
+}
+
+// satisfied reports whether some read observes the assignment: lexically
+// after it in the same function, in a different function or closure (order
+// unknowable), or anywhere within a loop enclosing the assignment (the
+// back-edge runs reads textually above it).
+func (ud *useDef) satisfied(a errAssign) bool {
+	for _, r := range ud.reads[a.obj] {
+		if r.fun != a.fun || r.pos > a.pos {
+			return true
+		}
+		for _, l := range a.loops {
+			if l.contains(r.pos) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// report flags every dangling error assignment, in file order (collection
+// order is already positional within each file).
+func (ud *useDef) report(pass *analysis.Pass) {
+	dead := make([]errAssign, 0, len(ud.assigned))
+	for _, a := range ud.assigned {
+		if ud.exempt[a.obj] || ud.satisfied(a) {
+			continue
+		}
+		dead = append(dead, a)
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i].pos < dead[j].pos })
+	for _, a := range dead {
+		pass.Reportf(a.pos, "error from simulated syscall %s assigned to %s but never read; "+
+			"unchecked kernel/libc errors break the §5 invariants", a.fn, a.obj.Name())
+	}
 }
 
 // reportIfDiscarded flags e when it is a sim-syscall call whose error is

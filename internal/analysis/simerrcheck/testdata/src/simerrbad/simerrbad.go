@@ -35,3 +35,42 @@ func DeepAPIs(k *kernel.Kernel, pid int, addr vm.VAddr) {
 	k.VM().Mlock(pid, addr, 1)    // want `error from simulated syscall Mlock discarded`
 	k.Mem().Zero(0, mem.PageSize) // want `error from simulated syscall Zero discarded`
 }
+
+// AssignedIgnored checks the first error, then re-assigns the variable on
+// the way out and never looks again — morally `_ =`, but invisible to the
+// blank-assignment check and accepted by the compiler (the variable has a
+// read, just not of this assignment).
+func AssignedIgnored(h *libc.Heap, p vm.VAddr) []byte {
+	buf, err := h.Read(0, 16)
+	if err != nil {
+		return nil
+	}
+	err = h.Free(p) // want `error from simulated syscall Free assigned to err but never read`
+	return buf
+}
+
+// AssignedShadowed re-assigns the outer err, then "checks" it — except the
+// check inside the block reads an inner shadow, a different variable.
+func AssignedShadowed(h *libc.Heap, p, q vm.VAddr) error {
+	err := h.Free(p)
+	if err != nil {
+		return err
+	}
+	err = h.Free(p) // want `error from simulated syscall Free assigned to err but never read`
+	{
+		err := h.Free(q)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// droppedBootErr is assigned below and read by nothing in the package.
+var droppedBootErr error
+
+// PackageLevelSink parks the error in a package variable no one consults;
+// locals like this are a compile error, package-level ones are not.
+func PackageLevelSink(k *kernel.Kernel) {
+	droppedBootErr = k.Exit(3) // want `error from simulated syscall Exit assigned to droppedBootErr but never read`
+}

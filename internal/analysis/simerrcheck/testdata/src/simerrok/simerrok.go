@@ -40,3 +40,48 @@ func Suppressed(k *kernel.Kernel) {
 	//memlint:allow simerrcheck fixture: documenting the escape hatch
 	k.Exit(1)
 }
+
+// LoopBackEdge reads err above the assignment in source order, but the loop
+// back-edge runs the read after it; the use-def pass must stay quiet.
+func LoopBackEdge(h *libc.Heap, ps []vm.VAddr) error {
+	var err error
+	for _, p := range ps {
+		if err != nil {
+			return err
+		}
+		err = h.Free(p)
+	}
+	return err
+}
+
+// DeferredRead reads err in a deferred closure declared before the
+// assignment; execution order is the reverse of source order.
+func DeferredRead(h *libc.Heap, p vm.VAddr) (out string) {
+	var err error
+	defer func() {
+		if err != nil {
+			out = err.Error()
+		}
+	}()
+	err = h.Free(p)
+	return out
+}
+
+// lastFreeErr is assigned here and read by Status below — package-level
+// state consulted from another function.
+var lastFreeErr error
+
+// RecordFree parks the error for later inspection.
+func RecordFree(h *libc.Heap, p vm.VAddr) {
+	lastFreeErr = h.Free(p)
+}
+
+// Status reads the parked error.
+func Status() error { return lastFreeErr }
+
+// NamedResult assigns the sim error to a named result; the bare return
+// reads it implicitly.
+func NamedResult(h *libc.Heap, p vm.VAddr) (err error) {
+	err = h.Free(p)
+	return
+}

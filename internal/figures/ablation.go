@@ -7,6 +7,7 @@ import (
 	"memshield/internal/attack/ttyleak"
 	"memshield/internal/protect"
 	"memshield/internal/report"
+	"memshield/internal/runner"
 	"memshield/internal/stats"
 )
 
@@ -58,11 +59,14 @@ func AblationDealloc(cfg Config) (*AblationResult, error) {
 		protect.LevelKernel,
 		protect.LevelIntegrated,
 	}
-	for li, level := range levels {
-		seed := cfg.Seed + int64(li*1000)
-		ls, err := buildLoadedServer(KindSSH, level, memPages, cfg.KeyBits, conns, seed)
+	// One cell per policy; trials share the cell's machine and attack RNG,
+	// so they stay sequential within it.
+	rows, err := runner.Map(cfg.Workers, len(levels), func(li int) (AblationRow, error) {
+		level := levels[li]
+		cellSeed := cfg.deriveSeed(labelAblation, int64(level))
+		ls, err := buildLoadedServer(KindSSH, level, memPages, cfg.KeyBits, conns, subSeed(cellSeed, subBuild))
 		if err != nil {
-			return nil, fmt.Errorf("figures: ablation %v: %w", level, err)
+			return AblationRow{}, fmt.Errorf("figures: ablation %v: %w", level, err)
 		}
 		// Churn half the connections closed so freed copies exist, then
 		// let simulated time pass (secure-dealloc's deferred window
@@ -70,32 +74,36 @@ func AblationDealloc(cfg Config) (*AblationResult, error) {
 		half := append([]int(nil), ls.open[:len(ls.open)/2]...)
 		for _, id := range half {
 			if err := ls.disconnectOne(id); err != nil {
-				return nil, err
+				return AblationRow{}, err
 			}
 		}
 		ls.k.Tick()
 		sum := ls.scanSummary()
 		copies := make([]float64, 0, trials)
 		hits := 0
-		rng := stats.NewRand(seed + 7)
+		rng := stats.NewRand(subSeed(cellSeed, subAttack))
 		for trial := 0; trial < trials; trial++ {
 			attack, err := ttyleak.Run(ls.k, ls.patterns, rng, ttyleak.Config{})
 			if err != nil {
-				return nil, fmt.Errorf("figures: ablation: %w", err)
+				return AblationRow{}, fmt.Errorf("figures: ablation: %w", err)
 			}
 			copies = append(copies, float64(attack.Summary.Total))
 			if attack.Success {
 				hits++
 			}
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		return AblationRow{
 			Level:           level,
 			AvgCopies:       stats.Mean(copies),
 			SuccessRate:     stats.Rate(hits, trials),
 			LiveAllocated:   sum.Allocated,
 			LiveUnallocated: sum.Unallocated,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

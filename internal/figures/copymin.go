@@ -7,6 +7,7 @@ import (
 	"memshield/internal/crypto/rsakey"
 	"memshield/internal/kernel"
 	"memshield/internal/report"
+	"memshield/internal/runner"
 	"memshield/internal/scan"
 	"memshield/internal/server/sshd"
 	"memshield/internal/stats"
@@ -58,37 +59,38 @@ func CopyMinAblation(cfg Config) (*CopyMinResult, error) {
 		{name: "-r + cache disabled", level: levelNone, tweaks: sshd.Tweaks{NoReexec: true, DisableKeyCache: true}},
 		{name: "full alignment (application level)", level: levelApp},
 	}
-	for vi, v := range variants {
-		seed := cfg.Seed + int64(vi*1000)
+	rows, err := runner.Map(cfg.Workers, len(variants), func(vi int) (CopyMinRow, error) {
+		v := variants[vi]
+		cellSeed := cfg.deriveSeed(labelCopyMin, int64(vi))
 		k, err := kernel.New(kernel.Config{
 			MemPages:      memPages,
 			DeallocPolicy: v.level.KernelPolicy(),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("figures: copymin: %w", err)
+			return CopyMinRow{}, fmt.Errorf("figures: copymin: %w", err)
 		}
-		key, err := rsakey.Generate(stats.NewReader(seed), cfg.KeyBits)
+		key, err := rsakey.Generate(stats.NewReader(subSeed(cellSeed, 1)), cfg.KeyBits)
 		if err != nil {
-			return nil, err
+			return CopyMinRow{}, err
 		}
 		if err := k.FS().WriteFile(keyPath, key.MarshalPEM()); err != nil {
-			return nil, err
+			return CopyMinRow{}, err
 		}
-		if err := k.ScrambleFreeMemory(seed + 1); err != nil {
-			return nil, err
+		if err := k.ScrambleFreeMemory(subSeed(cellSeed, 2)); err != nil {
+			return CopyMinRow{}, err
 		}
 		srv, err := sshd.Start(k, sshd.Config{
-			KeyPath: keyPath, Level: v.level, Tweaks: v.tweaks, Seed: seed + 2,
+			KeyPath: keyPath, Level: v.level, Tweaks: v.tweaks, Seed: subSeed(cellSeed, 3),
 		})
 		if err != nil {
-			return nil, err
+			return CopyMinRow{}, err
 		}
 		patterns := scan.PatternsFor(key)
 		sc := scan.New(k, patterns)
 		base := scan.Summarize(sc.Scan()).Total
 		for i := 0; i < conns; i++ {
 			if _, err := srv.Connect(); err != nil {
-				return nil, err
+				return CopyMinRow{}, err
 			}
 		}
 		matches := sc.Scan()
@@ -99,13 +101,17 @@ func CopyMinAblation(cfg Config) (*CopyMinResult, error) {
 				mlocked = true
 			}
 		}
-		res.Rows = append(res.Rows, CopyMinRow{
+		return CopyMinRow{
 			Name:       v.name,
 			BaseCopies: base,
 			PerConn:    float64(grown-base) / float64(conns),
 			Mlocked:    mlocked,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"memshield/internal/attack/ext2leak"
 	"memshield/internal/kernel/fs"
 	"memshield/internal/report"
+	"memshield/internal/runner"
 	"memshield/internal/scan"
 	"memshield/internal/stats"
 )
@@ -64,48 +65,62 @@ func SweepExt2(cfg Config, kind ServerKind) (*Ext2Sweep, error) {
 	}
 	maxDirs := dirs[len(dirs)-1]
 
-	for ci, c := range conns {
-		copies := make([][]float64, len(dirs)) // [dirIdx][trial]
-		hits := make([]int, len(dirs))
-		for i := range copies {
-			copies[i] = make([]float64, 0, trials)
+	// One cell per (connection count, trial); every cell boots and attacks
+	// its own machine under RNG streams derived from its grid coordinates,
+	// so cells are order-independent and the scheduler may run them on any
+	// worker in any order. perDir[di] is the copy count within the first
+	// dirs[di] directories of the cell's captured haul.
+	type ext2Cell struct{ perDir []int }
+	cells, err := runner.Map(cfg.Workers, len(conns)*trials, func(i int) (ext2Cell, error) {
+		ci, trial := i/trials, i%trials
+		c := conns[ci]
+		cellSeed := cfg.deriveSeed(labelExt2, int64(kind), int64(ci), int64(trial))
+		ls, err := buildLoadedServer(kind, levelNone, memPages, cfg.KeyBits, c, subSeed(cellSeed, subBuild))
+		if err != nil {
+			return ext2Cell{}, fmt.Errorf("figures: ext2 sweep conns=%d trial=%d: %w", c, trial, err)
 		}
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.Seed + int64(ci*1000+trial)
-			ls, err := buildLoadedServer(kind, levelNone, memPages, cfg.KeyBits, c, seed)
-			if err != nil {
-				return nil, fmt.Errorf("figures: ext2 sweep conns=%d trial=%d: %w", c, trial, err)
-			}
-			if err := ls.closeAll(); err != nil {
-				return nil, err
-			}
-			if err := ls.settleBeforeAttack(seed + 7); err != nil {
-				return nil, err
-			}
-			attack, err := ext2leak.Run(ls.k, ls.patterns, maxDirs, trial)
-			if err != nil {
-				return nil, fmt.Errorf("figures: ext2 sweep conns=%d trial=%d: %w", c, trial, err)
-			}
-			// Count by directory-prefix without re-capturing: directory i
-			// contributed bytes [i*leak, (i+1)*leak).
-			matches := attackMatches(attack, ls.patterns)
-			for di, d := range dirs {
-				limit := d * fs.MaxLeakPerDir
-				n := 0
-				for _, m := range matches {
-					if m.Off+m.Len <= limit {
-						n++
-					}
-				}
-				copies[di] = append(copies[di], float64(n))
-				if n > 0 {
-					hits[di]++
+		if err := ls.closeAll(); err != nil {
+			return ext2Cell{}, err
+		}
+		if err := ls.settleBeforeAttack(subSeed(cellSeed, subSettle)); err != nil {
+			return ext2Cell{}, err
+		}
+		attack, err := ext2leak.Run(ls.k, ls.patterns, maxDirs, trial)
+		if err != nil {
+			return ext2Cell{}, fmt.Errorf("figures: ext2 sweep conns=%d trial=%d: %w", c, trial, err)
+		}
+		// Count by directory-prefix without re-capturing: directory i
+		// contributed bytes [i*leak, (i+1)*leak).
+		matches := attackMatches(attack, ls.patterns)
+		cell := ext2Cell{perDir: make([]int, len(dirs))}
+		for di, d := range dirs {
+			limit := d * fs.MaxLeakPerDir
+			for _, m := range matches {
+				if m.Off+m.Len <= limit {
+					cell.perDir[di]++
 				}
 			}
 		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Commit in trial-index order: aggregation reads the cells exactly as
+	// the sequential loop produced them.
+	for ci := range conns {
 		for di := range dirs {
-			res.AvgCopies[di][ci] = stats.Mean(copies[di])
-			res.SuccessRate[di][ci] = stats.Rate(hits[di], trials)
+			copies := make([]float64, 0, trials)
+			hits := 0
+			for trial := 0; trial < trials; trial++ {
+				n := cells[ci*trials+trial].perDir[di]
+				copies = append(copies, float64(n))
+				if n > 0 {
+					hits++
+				}
+			}
+			res.AvgCopies[di][ci] = stats.Mean(copies)
+			res.SuccessRate[di][ci] = stats.Rate(hits, trials)
 		}
 	}
 	return res, nil
@@ -148,20 +163,24 @@ func (r *Ext2Sweep) Render() string {
 	return b.String()
 }
 
-// scaleAxis scales every axis value, keeping them distinct and >= floor.
+// scaleAxis scales every (increasing) axis value, clamping to floor and
+// dropping duplicates while preserving order. At small scales distinct
+// axis entries round — or clamp — to the same integer; the old behaviour
+// of bumping a duplicate to prev+1 fabricated grid points that were never
+// on the scaled axis and double-counted the same cell under two labels.
+// The zero point of an axis (tty sweeps) survives as-is: only later
+// entries that collapse onto an earlier one are dropped.
 func scaleAxis(axis []int, scale float64, floor int) []int {
-	out := make([]int, len(axis))
-	prev := 0
-	for i, v := range axis {
+	out := make([]int, 0, len(axis))
+	for _, v := range axis {
 		s := int(float64(v) * scale)
 		if s < floor {
 			s = floor
 		}
-		if s <= prev {
-			s = prev + 1
+		if len(out) > 0 && s <= out[len(out)-1] {
+			continue
 		}
-		out[i] = s
-		prev = s
+		out = append(out, s)
 	}
 	return out
 }

@@ -37,6 +37,12 @@ type Config struct {
 	// KeyBits is the RSA modulus size (default 512; the paper used 1024 —
 	// 512 keeps the arithmetic fast while preserving every behaviour).
 	KeyBits int
+	// Workers caps the trial scheduler's fan-out: independent experiment
+	// cells (one simulated machine each) run on up to this many goroutines.
+	// 0 means one per CPU (GOMAXPROCS). Results are committed in cell-index
+	// order, so output is byte-identical at every worker count (DESIGN.md
+	// §7); workers=1 is the sequential reference execution.
+	Workers int
 }
 
 func (c *Config) applyDefaults() {

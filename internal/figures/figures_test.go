@@ -74,9 +74,48 @@ func TestScaledAndAxis(t *testing.T) {
 	if got := c.scaled(10, 5); got != 5 {
 		t.Fatalf("floor = %d", got)
 	}
+	// Entries that round (or clamp) to the same integer are dropped, not
+	// bumped: the scaled axis holds real grid points only, each counted once.
 	axis := scaleAxis([]int{50, 150, 500}, 0.01, 2)
-	if axis[0] != 2 || axis[1] != 3 || axis[2] != 5 {
-		t.Fatalf("axis = %v (must stay distinct)", axis)
+	if len(axis) != 2 || axis[0] != 2 || axis[1] != 5 {
+		t.Fatalf("axis = %v, want [2 5] (duplicates dropped)", axis)
+	}
+}
+
+func TestScaleAxisDedupe(t *testing.T) {
+	// At Scale=0.05 the tty axis {0,20,...,120} collapses 0 and 20 onto the
+	// same point (0 and 1 stay distinct, but with floor 0 the leading zero
+	// must survive untouched); the ext2 conns axis clamps its first two
+	// entries onto the floor.
+	cases := []struct {
+		axis  []int
+		scale float64
+		floor int
+		want  []int
+	}{
+		{defaultTTYConns, 0.05, 0, []int{0, 1, 2, 3, 4, 5, 6}},
+		{defaultExt2Conns, 0.05, 5, []int{5, 7, 13, 19, 25}},
+		{defaultExt2Conns, 0.01, 5, []int{5}},
+		{[]int{0, 10, 20}, 0.05, 0, []int{0, 1}},
+		{[]int{100, 200, 300}, 1, 0, []int{100, 200, 300}},
+	}
+	for _, c := range cases {
+		got := scaleAxis(c.axis, c.scale, c.floor)
+		if len(got) != len(c.want) {
+			t.Errorf("scaleAxis(%v, %v, %d) = %v, want %v", c.axis, c.scale, c.floor, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("scaleAxis(%v, %v, %d) = %v, want %v", c.axis, c.scale, c.floor, got, c.want)
+				break
+			}
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Errorf("scaleAxis(%v, %v, %d) = %v not strictly increasing", c.axis, c.scale, c.floor, got)
+			}
+		}
 	}
 }
 

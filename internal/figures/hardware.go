@@ -9,6 +9,7 @@ import (
 	"memshield/internal/hsm"
 	"memshield/internal/kernel"
 	"memshield/internal/report"
+	"memshield/internal/runner"
 	"memshield/internal/scan"
 	"memshield/internal/server/sshd"
 	"memshield/internal/stats"
@@ -52,24 +53,26 @@ func Hardware(cfg Config) (*HardwareResult, error) {
 		name string
 		hsm  bool
 	}
-	for si, st := range []setup{
+	setups := []setup{
 		{name: "integrated software solution", hsm: false},
 		{name: "hardware security module", hsm: true},
-	} {
-		seed := cfg.Seed + int64(si*1000)
+	}
+	rows, err := runner.Map(cfg.Workers, len(setups), func(si int) (HardwareRow, error) {
+		st := setups[si]
+		cellSeed := cfg.deriveSeed(labelHardware, int64(si))
 		k, err := kernel.New(kernel.Config{
 			MemPages:      memPages,
 			DeallocPolicy: levelIntegrated.KernelPolicy(),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("figures: hardware: %w", err)
+			return HardwareRow{}, fmt.Errorf("figures: hardware: %w", err)
 		}
-		key, err := rsakey.Generate(stats.NewReader(seed), cfg.KeyBits)
+		key, err := rsakey.Generate(stats.NewReader(subSeed(cellSeed, 1)), cfg.KeyBits)
 		if err != nil {
-			return nil, err
+			return HardwareRow{}, err
 		}
-		if err := k.ScrambleFreeMemory(seed + 1); err != nil {
-			return nil, err
+		if err := k.ScrambleFreeMemory(subSeed(cellSeed, 2)); err != nil {
+			return HardwareRow{}, err
 		}
 		patterns := scan.PatternsFor(key)
 		var srv *sshd.Server
@@ -77,56 +80,60 @@ func Hardware(cfg Config) (*HardwareResult, error) {
 			device := hsm.New()
 			slot, err := device.Import(key)
 			if err != nil {
-				return nil, err
+				return HardwareRow{}, err
 			}
 			srv, err = sshd.Start(k, sshd.Config{
 				Level: levelIntegrated,
 				HSM:   &hsm.Slot{Module: device, ID: slot},
-				Seed:  seed + 2,
+				Seed:  subSeed(cellSeed, 3),
 			})
 			if err != nil {
-				return nil, err
+				return HardwareRow{}, err
 			}
 		} else {
 			if err := k.FS().WriteFile(keyPath, key.MarshalPEM()); err != nil {
-				return nil, err
+				return HardwareRow{}, err
 			}
 			srv, err = sshd.Start(k, sshd.Config{
-				KeyPath: keyPath, Level: levelIntegrated, Seed: seed + 2,
+				KeyPath: keyPath, Level: levelIntegrated, Seed: subSeed(cellSeed, 3),
 			})
 			if err != nil {
-				return nil, err
+				return HardwareRow{}, err
 			}
 		}
 		for i := 0; i < conns; i++ {
 			if _, err := srv.Connect(); err != nil {
-				return nil, err
+				return HardwareRow{}, err
 			}
 		}
 		row := HardwareRow{Name: st.name}
 		row.CopiesInRAM = scan.Summarize(scan.New(k, patterns).Scan()).Total
 
-		full, err := ttyleak.Run(k, patterns, stats.NewRand(seed+3),
+		full, err := ttyleak.Run(k, patterns, stats.NewRand(subSeed(cellSeed, subFullDump)),
 			ttyleak.Config{Fraction: 1.0, Jitter: 0.0001})
 		if err != nil {
-			return nil, err
+			return HardwareRow{}, err
 		}
 		row.FullDumpSuccess = full.Success
 
 		hits := 0
-		rng := stats.NewRand(seed + 4)
+		rng := stats.NewRand(subSeed(cellSeed, subHalfDump))
 		for trial := 0; trial < trials; trial++ {
 			r, err := ttyleak.Run(k, patterns, rng, ttyleak.Config{})
 			if err != nil {
-				return nil, err
+				return HardwareRow{}, err
 			}
 			if r.Success {
 				hits++
 			}
 		}
 		row.HalfDumpRate = stats.Rate(hits, trials)
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

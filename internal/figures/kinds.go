@@ -96,22 +96,25 @@ func settleActivityPages(totalPages int) int {
 // modest unrelated system activity recycles (and thereby scrubs) a share
 // of them, and deferred-zeroing windows expire. Without this step the
 // mkdir attack would implausibly harvest every copy ever freed, because
-// they all sit in one clump at the top of the free lists.
+// they all sit in one clump at the top of the free lists. The seed is the
+// cell's settle stream; the three phases get derived sub-streams.
 func (ls *loadedServer) settleBeforeAttack(seed int64) error {
-	if err := ls.k.MixFreeLists(seed); err != nil {
+	if err := ls.k.MixFreeLists(subSeed(seed, 1)); err != nil {
 		return err
 	}
-	if err := ls.k.RunBackgroundActivity(settleActivityPages(ls.k.Mem().NumPages()), seed+1); err != nil {
+	if err := ls.k.RunBackgroundActivity(settleActivityPages(ls.k.Mem().NumPages()), subSeed(seed, 2)); err != nil {
 		return err
 	}
 	ls.k.Tick()
-	return ls.k.MixFreeLists(seed + 2)
+	return ls.k.MixFreeLists(subSeed(seed, 3))
 }
 
 // buildLoadedServer boots a machine at the given level, starts the chosen
 // server, and opens conns concurrent connections. The caller decides
 // whether to close them (ext2 attack: connections closed first) or attack
-// with them open (tty attack).
+// with them open (tty attack). The seed is the cell's build stream; key
+// generation, the free-memory scramble and the server get derived
+// sub-streams.
 func buildLoadedServer(kind ServerKind, level protect.Level, memPages, keyBits, conns int, seed int64) (*loadedServer, error) {
 	k, err := kernel.New(kernel.Config{
 		MemPages:      memPages,
@@ -120,20 +123,21 @@ func buildLoadedServer(kind ServerKind, level protect.Level, memPages, keyBits, 
 	if err != nil {
 		return nil, fmt.Errorf("figures: %w", err)
 	}
-	key, err := rsakey.Generate(stats.NewReader(seed), keyBits)
+	key, err := rsakey.Generate(stats.NewReader(subSeed(seed, 1)), keyBits)
 	if err != nil {
 		return nil, fmt.Errorf("figures: %w", err)
 	}
 	if err := k.FS().WriteFile(keyPath, key.MarshalPEM()); err != nil {
 		return nil, fmt.Errorf("figures: %w", err)
 	}
-	if err := k.ScrambleFreeMemory(seed + 1); err != nil {
+	if err := k.ScrambleFreeMemory(subSeed(seed, 2)); err != nil {
 		return nil, fmt.Errorf("figures: %w", err)
 	}
 	ls := &loadedServer{k: k, patterns: scan.PatternsFor(key)}
+	srvSeed := subSeed(seed, 3)
 	switch kind {
 	case KindSSH:
-		s, err := sshd.Start(k, sshd.Config{KeyPath: keyPath, Level: level, Seed: seed + 2})
+		s, err := sshd.Start(k, sshd.Config{KeyPath: keyPath, Level: level, Seed: srvSeed})
 		if err != nil {
 			return nil, err
 		}
@@ -149,7 +153,7 @@ func buildLoadedServer(kind ServerKind, level protect.Level, memPages, keyBits, 
 		ls.maintain = func() error { return nil }
 	case KindApache:
 		s, err := httpd.Start(k, httpd.Config{
-			KeyPath: keyPath, Level: level, Seed: seed + 2,
+			KeyPath: keyPath, Level: level, Seed: srvSeed,
 			MaxClients: conns + 8,
 		})
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"memshield/internal/lifetime"
 	"memshield/internal/protect"
 	"memshield/internal/report"
+	"memshield/internal/runner"
 	"memshield/internal/sim"
 )
 
@@ -34,12 +35,19 @@ func LifetimeAnalysis(cfg Config) (*LifetimeResult, error) {
 		memPages = 8192
 	}
 	res := &LifetimeResult{}
-	for _, level := range []protect.Level{
+	levels := []protect.Level{
 		protect.LevelNone,
 		protect.LevelSecureDealloc,
 		protect.LevelKernel,
 		protect.LevelIntegrated,
-	} {
+	}
+	// Every level deliberately runs the SAME seed (cfg.Seed, like the
+	// fig5/fig9–16 timelines it analyzes): the churn trace is held constant
+	// so the deallocation policy is the only variable between rows. This is
+	// intentional stream sharing, not a collision — each run is its own
+	// machine and the runs never mix state.
+	rows, err := runner.Map(cfg.Workers, len(levels), func(li int) (LifetimeRow, error) {
+		level := levels[li]
 		tl, err := sim.Run(sim.Config{
 			Kind:     sim.KindSSH,
 			Level:    level,
@@ -48,10 +56,14 @@ func LifetimeAnalysis(cfg Config) (*LifetimeResult, error) {
 			Seed:     cfg.Seed,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("figures: lifetime %v: %w", level, err)
+			return LifetimeRow{}, fmt.Errorf("figures: lifetime %v: %w", level, err)
 		}
-		res.Rows = append(res.Rows, LifetimeRow{Level: level, Stats: lifetime.Analyze(tl)})
+		return LifetimeRow{Level: level, Stats: lifetime.Analyze(tl)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"memshield/internal/report"
+	"memshield/internal/runner"
 	"memshield/internal/stats"
 	"memshield/internal/workload"
 )
@@ -36,7 +37,7 @@ func PerfSSH(cfg Config) (*PerfComparison, error) {
 			Seed:           seed,
 		})
 	}
-	before, after, err := repeatPerf(reps, cfg.Seed, run)
+	before, after, err := repeatPerf(cfg, KindSSH, reps, run)
 	if err != nil {
 		return nil, fmt.Errorf("figures: perf ssh: %w", err)
 	}
@@ -58,7 +59,7 @@ func PerfApache(cfg Config) (*PerfComparison, error) {
 			Seed:         seed,
 		})
 	}
-	before, after, err := repeatPerf(reps, cfg.Seed, run)
+	before, after, err := repeatPerf(cfg, KindApache, reps, run)
 	if err != nil {
 		return nil, fmt.Errorf("figures: perf apache: %w", err)
 	}
@@ -69,16 +70,27 @@ func PerfApache(cfg Config) (*PerfComparison, error) {
 type levelT = protectLevel
 
 // repeatPerf runs the benchmark reps times per level and averages metrics.
-func repeatPerf(reps int, seed int64,
+// Each (level, rep) pair is one scheduler cell with its own derived seed; the
+// level is labelled by its value, so the "before" reps do not share streams
+// with the "after" reps (the workload difference, not the seed, is what the
+// before/after delta measures — both levels see the same number of
+// independent draws).
+func repeatPerf(cfg Config, kind ServerKind, reps int,
 	run func(levelT, int64) (workload.PerfResult, error)) (before, after workload.PerfResult, err error) {
-	mean := func(level levelT) (workload.PerfResult, error) {
+	levels := []levelT{levelNone, levelIntegrated}
+	cells, err := runner.Map(cfg.Workers, len(levels)*reps, func(i int) (workload.PerfResult, error) {
+		li, rep := i/reps, i%reps
+		level := levels[li]
+		return run(level, cfg.deriveSeed(labelPerf, int64(kind), int64(level), int64(rep)))
+	})
+	if err != nil {
+		return workload.PerfResult{}, workload.PerfResult{}, err
+	}
+	mean := func(li int) workload.PerfResult {
 		var rates, thr, resp, conc, elapsed []float64
 		var agg workload.PerfResult
-		for i := 0; i < reps; i++ {
-			r, err := run(level, seed+int64(i))
-			if err != nil {
-				return workload.PerfResult{}, err
-			}
+		for rep := 0; rep < reps; rep++ {
+			r := cells[li*reps+rep]
 			rates = append(rates, r.TransactionRate)
 			thr = append(thr, r.ThroughputMbit)
 			resp = append(resp, r.ResponseTimeSec)
@@ -93,14 +105,9 @@ func repeatPerf(reps int, seed int64,
 		agg.ResponseTimeSec = stats.Mean(resp)
 		agg.Concurrency = stats.Mean(conc)
 		agg.ElapsedSec = stats.Mean(elapsed)
-		return agg, nil
+		return agg
 	}
-	before, err = mean(levelNone)
-	if err != nil {
-		return
-	}
-	after, err = mean(levelIntegrated)
-	return
+	return mean(0), mean(1), nil
 }
 
 // Render prints the paired-bar comparison for the paper's metrics.

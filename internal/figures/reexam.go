@@ -7,6 +7,7 @@ import (
 	"memshield/internal/attack/ext2leak"
 	"memshield/internal/protect"
 	"memshield/internal/report"
+	"memshield/internal/runner"
 	"memshield/internal/stats"
 )
 
@@ -45,28 +46,48 @@ func Ext2Reexam(cfg Config) (*Ext2ReexamResult, error) {
 	conns := cfg.scaled(100, 20)
 	dirs := cfg.scaled(5000, 100)
 	res := &Ext2ReexamResult{Trials: trials, Conns: conns, Dirs: dirs}
-	for _, kind := range []ServerKind{KindSSH, KindApache} {
-		for _, level := range protect.All() {
+	kinds := []ServerKind{KindSSH, KindApache}
+	levels := protect.All()
+	nl := len(levels)
+
+	// One cell per (server, level, trial): every trial boots its own
+	// machine, so the full grid fans out across workers and commits in
+	// index order.
+	type reexamCell struct {
+		copies  float64
+		success bool
+	}
+	cells, err := runner.Map(cfg.Workers, len(kinds)*nl*trials, func(i int) (reexamCell, error) {
+		ki, li, trial := i/(nl*trials), (i/trials)%nl, i%trials
+		kind, level := kinds[ki], levels[li]
+		cellSeed := cfg.deriveSeed(labelReexam, int64(kind), int64(level), int64(trial))
+		ls, err := buildLoadedServer(kind, level, memPages, cfg.KeyBits, conns, subSeed(cellSeed, subBuild))
+		if err != nil {
+			return reexamCell{}, fmt.Errorf("figures: reexam %v/%v: %w", kind, level, err)
+		}
+		if err := ls.closeAll(); err != nil {
+			return reexamCell{}, err
+		}
+		if err := ls.settleBeforeAttack(subSeed(cellSeed, subSettle)); err != nil {
+			return reexamCell{}, err
+		}
+		attack, err := ext2leak.Run(ls.k, ls.patterns, dirs, trial)
+		if err != nil {
+			return reexamCell{}, fmt.Errorf("figures: reexam %v/%v: %w", kind, level, err)
+		}
+		return reexamCell{copies: float64(attack.Summary.Total), success: attack.Success}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, kind := range kinds {
+		for li, level := range levels {
 			copies := make([]float64, 0, trials)
 			hits := 0
 			for trial := 0; trial < trials; trial++ {
-				seed := cfg.Seed + int64(int(kind)*100000+int(level)*1000+trial)
-				ls, err := buildLoadedServer(kind, level, memPages, cfg.KeyBits, conns, seed)
-				if err != nil {
-					return nil, fmt.Errorf("figures: reexam %v/%v: %w", kind, level, err)
-				}
-				if err := ls.closeAll(); err != nil {
-					return nil, err
-				}
-				if err := ls.settleBeforeAttack(seed + 7); err != nil {
-					return nil, err
-				}
-				attack, err := ext2leak.Run(ls.k, ls.patterns, dirs, trial)
-				if err != nil {
-					return nil, fmt.Errorf("figures: reexam %v/%v: %w", kind, level, err)
-				}
-				copies = append(copies, float64(attack.Summary.Total))
-				if attack.Success {
+				cell := cells[(ki*nl+li)*trials+trial]
+				copies = append(copies, cell.copies)
+				if cell.success {
 					hits++
 				}
 			}

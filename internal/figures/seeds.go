@@ -1,0 +1,65 @@
+package figures
+
+import "memshield/internal/stats"
+
+// Every RNG stream an experiment consumes is labelled by a path through the
+// derivation tree below and minted with stats.DeriveSeed, which mixes the
+// path into a hash-quality seed. The old additive layout
+// (cfg.Seed + ci*1000 + trial, settle at seed+7, ...) made trial 7's base
+// stream double as every column's settle stream; the mixer makes any two
+// distinct paths yield distinct, uncorrelated seeds, and
+// TestSeedStreamsUnique audits the property per experiment by collecting
+// the derived set at run time.
+
+// Experiment labels — the leading derivation label, one per experiment
+// family. Distinct so that two experiments sharing cfg.Seed (cmd/figures
+// runs the whole catalog at one seed) never share a stream by accident;
+// sharing across experiments happens only by identical full paths, which
+// is deliberate (fig7's "before" rows replay fig3's cells exactly). The
+// timeline and lifetime experiments take no label: they pass cfg.Seed to
+// sim.Run directly, on purpose, so the lifetime rows analyze the very
+// traces the fig5/fig9–16 timelines render.
+const (
+	labelExt2 int64 = iota + 1
+	labelTTY
+	labelReexam
+	labelAblation
+	labelCopyMin
+	labelHardware
+	labelSwap
+	labelPerf
+)
+
+// Sub-stream labels within one cell.
+const (
+	subBuild    int64 = iota + 1 // machine boot (keygen/scramble/server)
+	subSettle                    // pre-attack free-list settling
+	subAttack                    // attack placement RNG
+	subFullDump                  // hardware experiment: fraction-1.0 dump
+	subHalfDump                  // hardware experiment: repeated half dumps
+)
+
+// seedObserver, when non-nil, receives every derived seed. Tests install a
+// (mutex-guarded) collector to assert stream uniqueness; production leaves
+// it nil. It is written only between experiment runs, never concurrently
+// with them, so the nil check below is race-free.
+var seedObserver func(int64)
+
+// observeSeed reports a freshly derived seed to the test observer.
+func observeSeed(s int64) int64 {
+	if seedObserver != nil {
+		seedObserver(s)
+	}
+	return s
+}
+
+// deriveSeed mints the root seed of one experiment cell from the config
+// seed and the cell's derivation path.
+func (c Config) deriveSeed(labels ...int64) int64 {
+	return observeSeed(stats.DeriveSeed(c.Seed, labels...))
+}
+
+// subSeed mints one sub-stream of an already-derived cell seed.
+func subSeed(seed, label int64) int64 {
+	return observeSeed(stats.DeriveSeed(seed, label))
+}

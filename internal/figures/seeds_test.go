@@ -1,0 +1,66 @@
+package figures
+
+import (
+	"sync"
+	"testing"
+)
+
+// collectSeeds runs fn with a seed observer installed and returns every seed
+// the run derived. The collector is mutex-guarded because experiment cells
+// derive their streams from worker goroutines.
+func collectSeeds(t *testing.T, fn func() error) []int64 {
+	t.Helper()
+	var mu sync.Mutex
+	var seeds []int64
+	seedObserver = func(s int64) {
+		mu.Lock()
+		seeds = append(seeds, s)
+		mu.Unlock()
+	}
+	defer func() { seedObserver = nil }()
+	if err := fn(); err != nil {
+		t.Fatal(err)
+	}
+	return seeds
+}
+
+// TestSeedStreamsUnique asserts the headline property of the DeriveSeed
+// refactor: within one experiment run, every minted RNG stream is distinct.
+// Under the old additive offsets this failed structurally — the settle
+// stream at seed+7 was exactly trial 7's base stream in the same column, and
+// neighbouring grid rows were one trial apart.
+func TestSeedStreamsUnique(t *testing.T) {
+	cfg := quick()
+	cfg.Workers = 4
+	experiments := []struct {
+		name string
+		run  func() error
+	}{
+		{"ext2", func() error { _, err := SweepExt2(cfg, KindSSH); return err }},
+		{"tty-before-after", func() error { _, err := SweepTTY(cfg, KindSSH, true); return err }},
+		{"reexam", func() error { _, err := Ext2Reexam(cfg); return err }},
+		{"ablation", func() error { _, err := AblationDealloc(cfg); return err }},
+		{"copymin", func() error { _, err := CopyMinAblation(cfg); return err }},
+		{"hardware", func() error { _, err := Hardware(cfg); return err }},
+		{"swap", func() error { _, err := SwapSurface(cfg); return err }},
+		{"perf-ssh", func() error { _, err := PerfSSH(cfg); return err }},
+	}
+	for _, e := range experiments {
+		t.Run(e.name, func(t *testing.T) {
+			seeds := collectSeeds(t, e.run)
+			if len(seeds) == 0 {
+				t.Fatal("experiment derived no seeds — observer not wired?")
+			}
+			seen := make(map[int64]int, len(seeds))
+			for _, s := range seeds {
+				seen[s]++
+			}
+			for s, n := range seen {
+				if n > 1 {
+					t.Errorf("seed %#x derived %d times (streams must be unique per run)", uint64(s), n)
+				}
+			}
+			t.Logf("%d distinct streams", len(seen))
+		})
+	}
+}

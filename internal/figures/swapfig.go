@@ -9,6 +9,7 @@ import (
 	"memshield/internal/kernel"
 	"memshield/internal/libc"
 	"memshield/internal/report"
+	"memshield/internal/runner"
 	"memshield/internal/scan"
 	"memshield/internal/ssl"
 	"memshield/internal/stats"
@@ -45,61 +46,67 @@ func SwapSurface(cfg Config) (*SwapSurfaceResult, error) {
 		mlock   bool
 		encrypt bool
 	}
-	for vi, v := range []variant{
+	variants := []variant{
 		{name: "unprotected key, plain swap"},
 		{name: "mlocked key (RSA_memory_align), plain swap", mlock: true},
 		{name: "unprotected key, encrypted swap", encrypt: true},
-	} {
-		seed := cfg.Seed + int64(vi*100)
+	}
+	rows, err := runner.Map(cfg.Workers, len(variants), func(vi int) (SwapRow, error) {
+		v := variants[vi]
+		cellSeed := cfg.deriveSeed(labelSwap, int64(vi))
 		k, err := kernel.New(kernel.Config{
 			MemPages:    memPages,
 			SwapPages:   memPages / 4,
 			EncryptSwap: v.encrypt,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("figures: swap: %w", err)
+			return SwapRow{}, fmt.Errorf("figures: swap: %w", err)
 		}
-		key, err := rsakey.Generate(stats.NewReader(seed), cfg.KeyBits)
+		key, err := rsakey.Generate(stats.NewReader(subSeed(cellSeed, 1)), cfg.KeyBits)
 		if err != nil {
-			return nil, err
+			return SwapRow{}, err
 		}
 		pid, err := k.Spawn(0, "keyholder")
 		if err != nil {
-			return nil, err
+			return SwapRow{}, err
 		}
 		heap := libc.New(k, pid)
 		r, err := ssl.D2iPrivateKey(heap, key.MarshalPEM())
 		if err != nil {
-			return nil, err
+			return SwapRow{}, err
 		}
 		if v.mlock {
 			if err := r.MemoryAlign(); err != nil {
-				return nil, err
+				return SwapRow{}, err
 			}
 		}
 		// Ordinary app state, so pressure always has something to evict.
 		buf, err := heap.Malloc(16 * 4096)
 		if err != nil {
-			return nil, err
+			return SwapRow{}, err
 		}
 		if err := heap.Write(buf, []byte("app state")); err != nil {
-			return nil, err
+			return SwapRow{}, err
 		}
 		evicted, err := k.MemoryPressure(pid, memPages)
 		if err != nil {
-			return nil, err
+			return SwapRow{}, err
 		}
 		attack := swapleak.Run(k, scan.PatternsFor(key))
 		// The process must still be able to use its key (swap-in works).
 		_, opErr := r.PrivateOp([]byte{0x42})
-		res.Rows = append(res.Rows, SwapRow{
+		return SwapRow{
 			Name:        v.name,
 			Evicted:     evicted,
 			DeviceHits:  attack.Summary.Total,
 			AttackWins:  attack.Success,
 			KeyReadable: opErr == nil,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"memshield/internal/attack/ttyleak"
 	"memshield/internal/protect"
 	"memshield/internal/report"
+	"memshield/internal/runner"
 	"memshield/internal/stats"
 )
 
@@ -43,8 +44,10 @@ func SweepTTY(cfg Config, kind ServerKind, beforeAfter bool) (*TTYSweep, error) 
 	if memPages == 0 {
 		memPages = defaultTTYMemPages
 	}
+	// The zero point is part of the paper's axis (floor 0), and scaleAxis
+	// keeps it: later entries that collapse onto it at small scales are
+	// dropped, not bumped.
 	conns := scaleAxis(defaultTTYConns, cfg.Scale, 0)
-	conns[0] = 0 // the zero point is part of the paper's axis
 	trials := cfg.scaled(defaultTTYTrials, 4)
 
 	levels := []protect.Level{levelNone}
@@ -52,30 +55,47 @@ func SweepTTY(cfg Config, kind ServerKind, beforeAfter bool) (*TTYSweep, error) 
 		levels = append(levels, levelIntegrated)
 	}
 	res := &TTYSweep{Kind: kind, Levels: levels, Conns: conns, Trials: trials}
-	for li, level := range levels {
-		avg := make([]float64, len(conns))
-		rate := make([]float64, len(conns))
-		for ci, c := range conns {
-			seed := cfg.Seed + int64(li*10000+ci*100)
-			ls, err := buildLoadedServer(kind, level, memPages, cfg.KeyBits, c, seed)
+
+	// One cell per (level, connection count) grid point: the tty attack
+	// samples the same live machine Trials times, so the machine and the
+	// attack RNG stay cell-local and the trial loop stays sequential
+	// inside the cell. Streams are labelled by the level value (not the
+	// slice index), so fig7/fig17's "before" rows replay fig3/fig4's cells
+	// byte-for-byte.
+	type ttyCell struct{ avg, rate float64 }
+	nc := len(conns)
+	cells, err := runner.Map(cfg.Workers, len(levels)*nc, func(i int) (ttyCell, error) {
+		li, ci := i/nc, i%nc
+		level, c := levels[li], conns[ci]
+		cellSeed := cfg.deriveSeed(labelTTY, int64(kind), int64(level), int64(ci))
+		ls, err := buildLoadedServer(kind, level, memPages, cfg.KeyBits, c, subSeed(cellSeed, subBuild))
+		if err != nil {
+			return ttyCell{}, fmt.Errorf("figures: tty sweep %v conns=%d: %w", level, c, err)
+		}
+		copies := make([]float64, 0, trials)
+		hits := 0
+		rng := stats.NewRand(subSeed(cellSeed, subAttack))
+		for trial := 0; trial < trials; trial++ {
+			attack, err := ttyleak.Run(ls.k, ls.patterns, rng, ttyleak.Config{})
 			if err != nil {
-				return nil, fmt.Errorf("figures: tty sweep %v conns=%d: %w", level, c, err)
+				return ttyCell{}, fmt.Errorf("figures: tty sweep: %w", err)
 			}
-			copies := make([]float64, 0, trials)
-			hits := 0
-			rng := stats.NewRand(seed + 7)
-			for trial := 0; trial < trials; trial++ {
-				attack, err := ttyleak.Run(ls.k, ls.patterns, rng, ttyleak.Config{})
-				if err != nil {
-					return nil, fmt.Errorf("figures: tty sweep: %w", err)
-				}
-				copies = append(copies, float64(attack.Summary.Total))
-				if attack.Success {
-					hits++
-				}
+			copies = append(copies, float64(attack.Summary.Total))
+			if attack.Success {
+				hits++
 			}
-			avg[ci] = stats.Mean(copies)
-			rate[ci] = stats.Rate(hits, trials)
+		}
+		return ttyCell{avg: stats.Mean(copies), rate: stats.Rate(hits, trials)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li := range levels {
+		avg := make([]float64, nc)
+		rate := make([]float64, nc)
+		for ci := 0; ci < nc; ci++ {
+			avg[ci] = cells[li*nc+ci].avg
+			rate[ci] = cells[li*nc+ci].rate
 		}
 		res.AvgCopies = append(res.AvgCopies, avg)
 		res.SuccessRate = append(res.SuccessRate, rate)

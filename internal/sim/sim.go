@@ -186,14 +186,16 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	key, err := rsakey.Generate(stats.NewReader(cfg.Seed), cfg.KeyBits)
+	// Sub-streams of cfg.Seed: 1=keygen, 2=scramble, 3=server. Derived,
+	// not offset, so a caller sweeping adjacent seeds never aliases them.
+	key, err := rsakey.Generate(stats.NewReader(stats.DeriveSeed(cfg.Seed, 1)), cfg.KeyBits)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	if err := k.FS().WriteFile(KeyPath, key.MarshalPEM()); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	if err := k.ScrambleFreeMemory(cfg.Seed + 1); err != nil {
+	if err := k.ScrambleFreeMemory(stats.DeriveSeed(cfg.Seed, 2)); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	// Paper, Section 3.2 observation (1): on the unpatched machine the
@@ -273,13 +275,13 @@ func Run(cfg Config) (*Result, error) {
 func startServer(k *kernel.Kernel, cfg Config) (serverHandle, error) {
 	switch cfg.Kind {
 	case KindSSH:
-		s, err := sshd.Start(k, sshd.Config{KeyPath: KeyPath, Level: cfg.Level, Seed: cfg.Seed + 2})
+		s, err := sshd.Start(k, sshd.Config{KeyPath: KeyPath, Level: cfg.Level, Seed: stats.DeriveSeed(cfg.Seed, 3)})
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 		return sshHandle{s}, nil
 	case KindApache:
-		s, err := httpd.Start(k, httpd.Config{KeyPath: KeyPath, Level: cfg.Level, Seed: cfg.Seed + 2})
+		s, err := httpd.Start(k, httpd.Config{KeyPath: KeyPath, Level: cfg.Level, Seed: stats.DeriveSeed(cfg.Seed, 3)})
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}

@@ -139,7 +139,9 @@ func (c *SSHBenchConfig) applyDefaults() {
 	}
 }
 
-// setupMachine boots a machine with a key on disk for the given level.
+// setupMachine boots a machine with a key on disk for the given level. Its
+// sub-streams are minted with DeriveSeed (1=keygen, 2=scramble; 3 is the
+// caller's server stream), so adjacent caller seeds never alias.
 func setupMachine(memPages, keyBits int, seed int64, level protect.Level) (*kernel.Kernel, error) {
 	k, err := kernel.New(kernel.Config{
 		MemPages:      memPages,
@@ -148,14 +150,14 @@ func setupMachine(memPages, keyBits int, seed int64, level protect.Level) (*kern
 	if err != nil {
 		return nil, err
 	}
-	key, err := rsakey.Generate(stats.NewReader(seed), keyBits)
+	key, err := rsakey.Generate(stats.NewReader(stats.DeriveSeed(seed, 1)), keyBits)
 	if err != nil {
 		return nil, err
 	}
 	if err := k.FS().WriteFile(KeyPath, key.MarshalPEM()); err != nil {
 		return nil, err
 	}
-	if err := k.ScrambleFreeMemory(seed + 1); err != nil {
+	if err := k.ScrambleFreeMemory(stats.DeriveSeed(seed, 2)); err != nil {
 		return nil, err
 	}
 	return k, nil
@@ -171,7 +173,7 @@ func RunSSHBench(cfg SSHBenchConfig) (PerfResult, error) {
 	if err != nil {
 		return PerfResult{}, fmt.Errorf("workload: %w", err)
 	}
-	s, err := sshd.Start(k, sshd.Config{KeyPath: KeyPath, Level: cfg.Level, Seed: cfg.Seed + 2})
+	s, err := sshd.Start(k, sshd.Config{KeyPath: KeyPath, Level: cfg.Level, Seed: stats.DeriveSeed(cfg.Seed, 3)})
 	if err != nil {
 		return PerfResult{}, fmt.Errorf("workload: %w", err)
 	}
@@ -271,7 +273,7 @@ func RunApacheBench(cfg ApacheBenchConfig) (PerfResult, error) {
 		return PerfResult{}, fmt.Errorf("workload: %w", err)
 	}
 	s, err := httpd.Start(k, httpd.Config{
-		KeyPath: KeyPath, Level: cfg.Level, Seed: cfg.Seed + 2,
+		KeyPath: KeyPath, Level: cfg.Level, Seed: stats.DeriveSeed(cfg.Seed, 3),
 		MaxClients: cfg.Concurrency + 4,
 	})
 	if err != nil {
