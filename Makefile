@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fuzz figures figures-smoke
+.PHONY: all build test race lint lint-self fuzz figures figures-smoke
 
 all: build lint test
 
@@ -23,11 +23,20 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/memlint ./...
 
+# lint-self: the analyzers must hold themselves to their own invariants —
+# zero diagnostics over internal/analysis/... with zero suppressions
+# beyond policy.SuppressionBudget (the budget itself is enforced by
+# internal/analysis/policy's TestSuppressionBudget).
+lint-self:
+	$(GO) run ./cmd/memlint ./internal/analysis/...
+	$(GO) test -run TestSuppressionBudget ./internal/analysis/policy
+
 # Short fuzz smoke over every fuzz target (30s each).
 fuzz:
 	$(GO) test -fuzz=FuzzReadInteger -fuzztime=30s ./internal/crypto/der
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/crypto/pemfile
 	$(GO) test -fuzz=FuzzFindPlanted -fuzztime=30s ./internal/scan
+	$(GO) test -fuzz=FuzzKeyfinderDERWalk -fuzztime=30s ./internal/keyfinder
 
 figures:
 	$(GO) run ./cmd/figures -all

@@ -92,15 +92,17 @@ func run(args []string, out io.Writer) (int, error) {
 		patterns = []string{"."}
 	}
 	cfg := load.Config{Tests: *tests}
-	pkgs, fset, err := cfg.Load(patterns...)
+	res, err := cfg.Load(patterns...)
 	if err != nil {
 		return 2, err
 	}
+	fset := res.Fset
 
 	var diags []analysis.Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range res.Pkgs {
 		for _, a := range analyzers {
 			pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.PkgPath, pkg.Info, pkg.IsTestFile)
+			pass.Sources = res.Sources
 			if err := a.Run(pass); err != nil {
 				return 2, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
 			}

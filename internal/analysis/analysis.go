@@ -57,6 +57,11 @@ type Pass struct {
 	// whose invariants target shipped code (keycopy, simerrcheck) use it
 	// to skip test-only noise.
 	IsTestFile func(*ast.File) bool
+	// Sources maps the go/types full name of every function the loader
+	// saw carrying a //memlint:source marker to the index of its tainted
+	// result. Drivers fill it from load.Result.Sources; the keycopy
+	// analyzer consumes it.
+	Sources map[string]int
 
 	diagnostics []Diagnostic
 	allows      allowIndex
@@ -88,6 +93,12 @@ func (p *Pass) Diagnostics() []Diagnostic { return p.diagnostics }
 // statement or sit on its own line above it). A reason is required: bare
 // allows rot.
 var allowRe = regexp.MustCompile(`^//memlint:allow\s+([a-z][a-z0-9,]*)\s+\S`)
+
+// IsAllowDirective reports whether a comment's text (as go/ast renders
+// it, leading "//" included) is a memlint suppression directive. The
+// policy package's suppression-budget test shares this definition so the
+// budget counts exactly what the framework honours.
+func IsAllowDirective(text string) bool { return allowRe.MatchString(text) }
 
 // allowKey identifies one (file, line, analyzer) suppression.
 type allowKey struct {

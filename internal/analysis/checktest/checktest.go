@@ -52,19 +52,21 @@ func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgPaths ...str
 	}
 	cfg := load.Config{ModuleRoot: moduleRoot, FixtureRoot: testdataDir}
 	for _, path := range pkgPaths {
-		pkgs, fset, err := cfg.Load(path)
+		res, err := cfg.Load(path)
 		if err != nil {
 			t.Fatalf("checktest: loading %s: %v", path, err)
 		}
-		for _, pkg := range pkgs {
-			runOne(t, fset, a, pkg)
+		for _, pkg := range res.Pkgs {
+			runOne(t, res, a, pkg)
 		}
 	}
 }
 
-func runOne(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, pkg *load.Package) {
+func runOne(t *testing.T, res *load.Result, a *analysis.Analyzer, pkg *load.Package) {
 	t.Helper()
+	fset := res.Fset
 	pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.PkgPath, pkg.Info, pkg.IsTestFile)
+	pass.Sources = res.Sources
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("checktest: %s on %s: %v", a.Name, pkg.PkgPath, err)
 	}

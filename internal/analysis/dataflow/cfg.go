@@ -1,0 +1,397 @@
+// Package dataflow is the flow-sensitive core of the memlint taint
+// analyzers: a control-flow graph built directly over go/ast statements
+// plus a generic forward may-analysis driver (worklist, per-block fact
+// sets, merge = union). Analyzers instantiate the driver with their own
+// transfer functions, so a fact established in one branch no longer
+// poisons the sibling branch the way the old whole-function fixpoint did
+// (the `ttyleak` false-positive class, ROADMAP item 1).
+//
+// The CFG decomposes every structured statement: conditions, init/post
+// statements and case expressions become nodes of the blocks that
+// evaluate them, and bodies become separate blocks, so each block's node
+// list is straight-line code. The one composite node is *ast.RangeStmt
+// (its per-iteration key/value assignment has no standalone AST); use
+// Inspect, not ast.Inspect, to walk a node without descending into a
+// body owned by another block.
+//
+// Edges cover if/else, for (cond/post, infinite), range, switch and type
+// switch (including fallthrough), select, goto, labeled break/continue,
+// and return. A defer statement adds an edge from its block to the exit
+// block — the deferred call runs at function exit, so exit-entry facts
+// over-approximate every environment a deferred call can observe.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one basic block: straight-line nodes and successor edges.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes are the block's statements and control expressions in
+	// execution order. See the package comment for what can appear here.
+	Nodes []ast.Node
+	// Succs are the possible control-flow successors.
+	Succs []*Block
+}
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks in creation order; Blocks[0] is Entry, Blocks[1] is Exit.
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the single synthetic exit block: returns, falling off the
+	// end, and defer edges all lead here. It holds no nodes.
+	Exit *Block
+}
+
+// New builds the CFG of a function body.
+func New(body *ast.BlockStmt) *CFG {
+	b := &builder{cfg: &CFG{}, labels: map[string]*Block{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.cfg.Exit)
+	return b.cfg
+}
+
+// Inspect walks one block node's syntax like ast.Inspect, without
+// descending into statement bodies that live in other blocks. Only
+// *ast.RangeStmt carries such a body; for it, Key, Value and X are
+// visited.
+func Inspect(n ast.Node, fn func(ast.Node) bool) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		for _, e := range []ast.Expr{r.Key, r.Value, r.X} {
+			if e != nil {
+				ast.Inspect(e, fn)
+			}
+		}
+		return
+	}
+	ast.Inspect(n, fn)
+}
+
+// jumps tracks the innermost enclosing break/continue targets.
+type jumps struct {
+	outer *jumps
+	// label names the labeled statement wrapping this construct ("" when
+	// unlabeled), so `break L` / `continue L` resolve.
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+type builder struct {
+	cfg *CFG
+	cur *Block
+	jmp *jumps
+	// labels maps a label name to the block starting at the labeled
+	// statement — the goto target. Created on first reference, so
+	// forward gotos resolve.
+	labels map[string]*Block
+	// fall is the next case body during switch construction, the
+	// fallthrough target.
+	fall *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// jumpTo ends the current block with an edge to target; subsequent nodes
+// land in a fresh, unreachable block (dead code keeps empty facts).
+func (b *builder) jumpTo(target *Block) {
+	b.edge(b.cur, target)
+	b.cur = b.newBlock()
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt translates one statement; label is the name of a directly
+// enclosing LabeledStmt (so labeled loops and switches register their
+// break/continue targets under it).
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.switchBody(s.Body, label, s.Assign)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jumpTo(b.cfg.Exit)
+
+	case *ast.DeferStmt:
+		// The deferred call's arguments are evaluated here; the call
+		// itself runs at function exit — model that as an exit edge.
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// AssignStmt, DeclStmt, ExprStmt, GoStmt, IncDecStmt, SendStmt.
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	var elseEnd *Block
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else, "")
+		elseEnd = b.cur
+	}
+
+	join := b.newBlock()
+	b.edge(thenEnd, join)
+	if elseEnd != nil {
+		b.edge(elseEnd, join)
+	} else {
+		b.edge(cond, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+
+	body := b.newBlock()
+	b.edge(head, body)
+	done := b.newBlock()
+	if s.Cond != nil {
+		b.edge(head, done) // `for {}` only exits via break
+	}
+
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		cont = post
+	}
+
+	b.jmp = &jumps{outer: b.jmp, label: label, brk: done, cont: cont}
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jmp = b.jmp.outer
+
+	if post != nil {
+		b.edge(b.cur, post)
+		b.cur = post
+		b.add(s.Post)
+	}
+	b.edge(b.cur, head)
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	b.cur = head
+	b.add(s) // per-iteration key/value assignment; see Inspect
+
+	body := b.newBlock()
+	done := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, done)
+
+	b.jmp = &jumps{outer: b.jmp, label: label, brk: done, cont: head}
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jmp = b.jmp.outer
+
+	b.edge(b.cur, head)
+	b.cur = done
+}
+
+// switchBody handles the clause fan-out shared by switch and type
+// switch. assign, when non-nil, is the type switch's `x := y.(type)`
+// statement, evaluated at the head.
+func (b *builder) switchBody(body *ast.BlockStmt, label string, assign ast.Stmt) {
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	done := b.newBlock()
+
+	clauses := body.List
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		// Case expressions are evaluated at the head until one matches.
+		for _, e := range cc.List {
+			head.Nodes = append(head.Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		bodies[i] = b.newBlock()
+		b.edge(head, bodies[i])
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+
+	b.jmp = &jumps{outer: b.jmp, label: label, brk: done}
+	savedFall := b.fall
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.fall = nil
+		if i+1 < len(bodies) {
+			b.fall = bodies[i+1]
+		}
+		b.cur = bodies[i]
+		b.stmtList(cc.Body)
+		b.edge(b.cur, done)
+	}
+	b.fall = savedFall
+	b.jmp = b.jmp.outer
+	b.cur = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	done := b.newBlock()
+
+	b.jmp = &jumps{outer: b.jmp, label: label, brk: done}
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, done)
+	}
+	b.jmp = b.jmp.outer
+	// A `select {}` with no clauses blocks forever: done stays
+	// unreachable, which is exactly right.
+	b.cur = done
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for j := b.jmp; j != nil; j = j.outer {
+			if name == "" || j.label == name {
+				b.jumpTo(j.brk)
+				return
+			}
+		}
+	case token.CONTINUE:
+		for j := b.jmp; j != nil; j = j.outer {
+			if j.cont != nil && (name == "" || j.label == name) {
+				b.jumpTo(j.cont)
+				return
+			}
+		}
+	case token.GOTO:
+		if name != "" {
+			b.jumpTo(b.labelBlock(name))
+			return
+		}
+	case token.FALLTHROUGH:
+		if b.fall != nil {
+			b.jumpTo(b.fall)
+			return
+		}
+	}
+	// Malformed branch (won't compile anyway): sever the block so the
+	// analysis stays conservative about what follows.
+	b.cur = b.newBlock()
+}

@@ -1,0 +1,373 @@
+package dataflow_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+
+	"memshield/internal/analysis/dataflow"
+)
+
+// parseBody parses `func f() { <src> }` and returns the body.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}"
+	f, err := parser.ParseFile(token.NewFileSet(), "x.go", file, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// shape renders a CFG compactly: one "index:[nodes]->succs" per block,
+// skipping empty no-successor blocks created for dead code.
+func shape(cfg *dataflow.CFG) string {
+	var lines []string
+	for _, b := range cfg.Blocks {
+		if len(b.Nodes) == 0 && len(b.Succs) == 0 && b != cfg.Exit && b != cfg.Entry {
+			continue
+		}
+		var nodes, succs []string
+		for _, n := range b.Nodes {
+			nodes = append(nodes, nodeName(n))
+		}
+		for _, s := range b.Succs {
+			succs = append(succs, fmt.Sprint(s.Index))
+		}
+		lines = append(lines, fmt.Sprintf("%d:[%s]->%s",
+			b.Index, strings.Join(nodes, " "), strings.Join(succs, ",")))
+	}
+	return strings.Join(lines, " ")
+}
+
+func nodeName(n ast.Node) string {
+	switch n := n.(type) {
+	case ast.Expr:
+		return "expr"
+	case *ast.AssignStmt:
+		return "assign"
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.DeferStmt:
+		return "defer"
+	case *ast.RangeStmt:
+		return "range"
+	case *ast.ExprStmt:
+		return "call"
+	case *ast.IncDecStmt:
+		return "incdec"
+	default:
+		return strings.TrimPrefix(fmt.Sprintf("%T", n), "*ast.")
+	}
+}
+
+// TestCFGShapes pins the block/edge structure of each control construct.
+func TestCFGShapes(t *testing.T) {
+	tests := []struct {
+		name, src, want string
+	}{
+		{
+			name: "straight line",
+			src:  "x := 1; y := x",
+			want: "0:[assign assign]->1 1:[]->",
+		},
+		{
+			name: "if else",
+			src:  "if c { a() } else { b() }; d()",
+			// entry evaluates cond; then and else join before d().
+			want: "0:[expr]->2,3 1:[]-> 2:[call]->4 3:[call]->4 4:[call]->1",
+		},
+		{
+			name: "if without else",
+			src:  "if c { a() }; d()",
+			want: "0:[expr]->2,3 1:[]-> 2:[call]->3 3:[call]->1",
+		},
+		{
+			name: "for loop",
+			src:  "for i := 0; i < n; i++ { a() }; d()",
+			// 0: init -> 2 head(cond) -> 3 body -> 5 post -> head; 4 done.
+			want: "0:[assign]->2 1:[]-> 2:[expr]->3,4 3:[call]->5 4:[call]->1 5:[incdec]->2",
+		},
+		{
+			name: "nested loops",
+			src:  "for a { for b { x() } }; d()",
+			want: "0:[]->2 1:[]-> 2:[expr]->3,4 3:[]->5 4:[call]->1 5:[expr]->6,7 6:[call]->5 7:[]->2",
+		},
+		{
+			name: "infinite for only exits via break",
+			src:  "for { if c { break } }; d()",
+			// head (2) has no done edge; break (5) jumps straight to done
+			// (4); 6 is the dead block after the break.
+			want: "0:[]->2 1:[]-> 2:[]->3 3:[expr]->5,7 4:[call]->1 5:[]->4 6:[]->7 7:[]->2",
+		},
+		{
+			name: "range",
+			src:  "for _, v := range xs { a(v) }; d()",
+			want: "0:[]->2 1:[]-> 2:[range]->3,4 3:[call]->2 4:[call]->1",
+		},
+		{
+			name: "switch fallthrough-free",
+			src: `switch tag {
+			case 1:
+				a()
+			case 2:
+				b()
+			default:
+				c()
+			}
+			d()`,
+			// head fans out to all three bodies; all rejoin at done. The
+			// default clause means no head->done edge.
+			want: "0:[expr expr expr]->3,4,5 1:[]-> 2:[call]->1 3:[call]->2 4:[call]->2 5:[call]->2",
+		},
+		{
+			name: "switch without default",
+			src: `switch tag {
+			case 1:
+				a()
+			}
+			d()`,
+			want: "0:[expr expr]->3,2 1:[]-> 2:[call]->1 3:[call]->2",
+		},
+		{
+			name: "switch fallthrough edge",
+			src: `switch tag {
+			case 1:
+				a()
+				fallthrough
+			case 2:
+				b()
+			}
+			d()`,
+			// case 1's body (3) jumps into case 2's body (4); 5 is the
+			// dead block after the fallthrough.
+			want: "0:[expr expr expr]->3,4,2 1:[]-> 2:[call]->1 3:[call]->4 4:[call]->2 5:[]->2",
+		},
+		{
+			name: "labeled break from nested loop",
+			src:  "L: for a { for b { break L } }; d()",
+			// break L (7) exits both loops to L's done block (5); 9 is
+			// the dead tail of the inner body.
+			want: "0:[]->2 1:[]-> 2:[]->3 3:[expr]->4,5 4:[]->6 5:[call]->1 6:[expr]->7,8 7:[]->5 8:[]->3 9:[]->6",
+		},
+		{
+			name: "labeled continue",
+			src:  "L: for a { for b { continue L } }; d()",
+			// continue L (7) jumps to the outer head (3).
+			want: "0:[]->2 1:[]-> 2:[]->3 3:[expr]->4,5 4:[]->6 5:[call]->1 6:[expr]->7,8 7:[]->3 8:[]->3 9:[]->6",
+		},
+		{
+			name: "goto backward",
+			src:  "x := 1; L: x++; goto L",
+			// 3 is the dead block after the goto, falling off the end.
+			want: "0:[assign]->2 1:[]-> 2:[incdec]->2 3:[]->1",
+		},
+		{
+			name: "defer exit edge",
+			src:  "defer a(); b()",
+			// the defer's block gains an edge to exit alongside the
+			// ordinary fallthrough.
+			want: "0:[defer call]->1 1:[]->",
+		},
+		{
+			name: "return severs the block",
+			src:  "if c { return }; d()",
+			// 3 is the dead tail of the then-branch after the return.
+			want: "0:[expr]->2,4 1:[]-> 2:[return]->1 3:[]->4 4:[call]->1",
+		},
+		{
+			name: "select",
+			src: `select {
+			case v := <-ch:
+				a(v)
+			default:
+				b()
+			}
+			d()`,
+			want: "0:[]->3,4 1:[]-> 2:[call]->1 3:[assign call]->2 4:[call]->2",
+		},
+		{
+			name: "type switch",
+			src: `switch v := x.(type) {
+			case int:
+				a(v)
+			}
+			d()`,
+			want: "0:[assign expr]->3,2 1:[]-> 2:[call]->1 3:[call]->2",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := dataflow.New(parseBody(t, tt.src))
+			if got := shape(cfg); got != tt.want {
+				t.Errorf("shape mismatch\n got: %s\nwant: %s", got, tt.want)
+			}
+		})
+	}
+}
+
+// taintTransfer is a toy gen-only analysis over variable names: a call to
+// taint() taints the assigned name, and assignment propagates taint.
+func taintTransfer(n ast.Node, facts dataflow.Facts[string]) {
+	assign, ok := n.(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, rhs := range assign.Rhs {
+		tainted := false
+		switch r := rhs.(type) {
+		case *ast.CallExpr:
+			if id, ok := r.Fun.(*ast.Ident); ok && id.Name == "taint" {
+				tainted = true
+			}
+		case *ast.Ident:
+			tainted = facts.Has(r.Name)
+		}
+		if tainted {
+			if id, ok := assign.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				facts.Add(id.Name)
+			}
+		}
+	}
+}
+
+func exitFacts(cfg *dataflow.CFG, in []dataflow.Facts[string]) []string {
+	var out []string
+	for k := range in[cfg.Exit.Index] {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestBranchLocality is the engine-level statement of the ttyleak fix: a
+// fact established in one branch is absent from the sibling branch and
+// present, by union, after the join.
+func TestBranchLocality(t *testing.T) {
+	body := parseBody(t, `
+		a := 1
+		if c {
+			x := taint()
+			_ = x
+		} else {
+			y := x
+			_ = y
+		}
+		z := x
+		_ = z
+		_ = a`)
+	cfg := dataflow.New(body)
+	in := dataflow.Forward[string](cfg, nil, taintTransfer)
+
+	// Block layout: 0 entry (a, cond), 2 then, 3 else, 4 join.
+	then, els, join := cfg.Blocks[2], cfg.Blocks[3], cfg.Blocks[4]
+	if in[then.Index].Has("x") {
+		t.Error("x tainted at then-branch entry (gen happens inside it)")
+	}
+	if in[els.Index].Has("x") {
+		t.Error("x leaked into the sibling branch: flow-insensitivity regressed")
+	}
+	if !in[join.Index].Has("x") {
+		t.Error("x missing after the join: union merge broken")
+	}
+	// z := x at the join taints z on the way to exit.
+	if got := exitFacts(cfg, in); !strings.Contains(strings.Join(got, ","), "z") {
+		t.Errorf("exit facts = %v, want z present", got)
+	}
+}
+
+// TestLoopBackEdge checks facts flow around a loop's back edge: a taint
+// generated late in the body is visible at the body's entry on the next
+// iteration.
+func TestLoopBackEdge(t *testing.T) {
+	body := parseBody(t, `
+		for i := 0; i < n; i++ {
+			use(b)
+			b := taint()
+			_ = b
+		}`)
+	cfg := dataflow.New(body)
+	in := dataflow.Forward[string](cfg, nil, taintTransfer)
+	// The body block (index 3 per the for-loop shape) must see b tainted
+	// via head, fed by the back edge.
+	if !in[3].Has("b") {
+		t.Error("taint did not propagate around the loop back edge")
+	}
+}
+
+// TestEntrySeed seeds the entry set (how analyzers model closures
+// capturing already-tainted variables).
+func TestEntrySeed(t *testing.T) {
+	body := parseBody(t, "y := x; _ = y")
+	cfg := dataflow.New(body)
+	in := dataflow.Forward(cfg, dataflow.Facts[string]{"x": true}, taintTransfer)
+	if got := exitFacts(cfg, in); strings.Join(got, ",") != "x,y" {
+		t.Errorf("exit facts = %v, want [x y]", got)
+	}
+}
+
+// TestWalkOrder checks Walk presents nodes with pre-state facts in
+// deterministic block order.
+func TestWalkOrder(t *testing.T) {
+	body := parseBody(t, "a := taint(); b := a; _ = b")
+	cfg := dataflow.New(body)
+	in := dataflow.Forward[string](cfg, nil, taintTransfer)
+	var trace []string
+	dataflow.Walk(cfg, in, taintTransfer, func(n ast.Node, facts dataflow.Facts[string]) {
+		if assign, ok := n.(*ast.AssignStmt); ok {
+			id := assign.Lhs[0].(*ast.Ident).Name
+			trace = append(trace, fmt.Sprintf("%s:a=%v,b=%v", id, facts.Has("a"), facts.Has("b")))
+		}
+	})
+	want := []string{"a:a=false,b=false", "b:a=true,b=false"}
+	if len(trace) < 2 || trace[0] != want[0] || trace[1] != want[1] {
+		t.Errorf("walk trace = %v, want prefix %v", trace, want)
+	}
+}
+
+// TestFixpointTermination runs the driver over a pathological nest —
+// deep loops, labeled continue/break, a backward goto and a defer — with
+// a transfer that keeps generating facts. The test passing at all is the
+// termination claim; the exit facts pin the union.
+func TestFixpointTermination(t *testing.T) {
+	body := parseBody(t, `
+		x := taint()
+		outer: for a {
+			for b {
+				for c {
+					for d {
+						y := x
+						_ = y
+						if e {
+							continue outer
+						}
+						if f {
+							break outer
+						}
+						goto again
+					}
+				}
+			again:
+				z := y
+				_ = z
+			}
+		}
+		defer done(x)
+		w := z
+		_ = w`)
+	cfg := dataflow.New(body)
+	in := dataflow.Forward[string](cfg, nil, taintTransfer)
+	got := exitFacts(cfg, in)
+	want := "w,x,y,z"
+	if strings.Join(got, ",") != want {
+		t.Errorf("exit facts = %v, want %s", got, want)
+	}
+	// Sanity: the nest produced a real graph, not a degenerate chain.
+	if len(cfg.Blocks) < 12 {
+		t.Errorf("only %d blocks for the pathological nest", len(cfg.Blocks))
+	}
+}

@@ -1,0 +1,107 @@
+package dataflow
+
+import "go/ast"
+
+// Facts is a mutable set of dataflow facts, keyed by any comparable fact
+// type (the taint analyzers use *types.Var).
+type Facts[F comparable] map[F]bool
+
+// Add inserts a fact.
+func (f Facts[F]) Add(x F) { f[x] = true }
+
+// Has reports whether a fact is present.
+func (f Facts[F]) Has(x F) bool { return f[x] }
+
+// Clone copies the set; cloning a nil set yields an empty one.
+func (f Facts[F]) Clone() Facts[F] {
+	out := make(Facts[F], len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+// A Transfer applies one node's effect to the fact set in place. For a
+// may-analysis it must be monotone: growing the input can only grow the
+// output. The taint transfers are gen-only (taint is never killed), which
+// trivially satisfies that.
+type Transfer[F comparable] func(n ast.Node, facts Facts[F])
+
+// Forward runs a forward may-analysis over the CFG to fixpoint and
+// returns each block's entry facts, indexed by Block.Index. entry seeds
+// the function entry block (nil means no initial facts); merge at joins
+// is set union. Termination: the fact domain of one function is finite
+// and in-sets only grow, so the worklist drains.
+func Forward[F comparable](cfg *CFG, entry Facts[F], transfer Transfer[F]) []Facts[F] {
+	in := make([]Facts[F], len(cfg.Blocks))
+	for i := range in {
+		in[i] = Facts[F]{}
+	}
+	for k := range entry {
+		in[cfg.Entry.Index][k] = true
+	}
+
+	// Seed the worklist with every block reachable from entry, in index
+	// order: a block whose predecessors contribute no facts still needs
+	// its own transfer run so its gens reach its successors. Unreachable
+	// blocks (dead code) stay out — their facts remain empty.
+	reachable := make([]bool, len(cfg.Blocks))
+	var mark func(*Block)
+	mark = func(blk *Block) {
+		if reachable[blk.Index] {
+			return
+		}
+		reachable[blk.Index] = true
+		for _, s := range blk.Succs {
+			mark(s)
+		}
+	}
+	mark(cfg.Entry)
+	var work []*Block
+	queued := make([]bool, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		if reachable[blk.Index] {
+			work = append(work, blk)
+			queued[blk.Index] = true
+		}
+	}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+
+		out := in[blk.Index].Clone()
+		for _, n := range blk.Nodes {
+			transfer(n, out)
+		}
+		for _, succ := range blk.Succs {
+			changed := false
+			for k := range out {
+				if !in[succ.Index][k] {
+					in[succ.Index][k] = true
+					changed = true
+				}
+			}
+			if changed && !queued[succ.Index] {
+				queued[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// Walk replays the analysis deterministically: blocks in index order,
+// and within each block every node is passed to visit with the facts in
+// force immediately before it executes, then to transfer. Unreachable
+// blocks (dead code) are visited with empty facts. in must come from
+// Forward over the same CFG with the same transfer.
+func Walk[F comparable](cfg *CFG, in []Facts[F], transfer Transfer[F], visit func(n ast.Node, facts Facts[F])) {
+	for _, blk := range cfg.Blocks {
+		facts := in[blk.Index].Clone()
+		for _, n := range blk.Nodes {
+			visit(n, facts)
+			transfer(n, facts)
+		}
+	}
+}

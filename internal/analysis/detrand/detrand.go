@@ -17,9 +17,10 @@
 //     count, so it must never schedule, batch or time out on the wall
 //     clock (not even via the allowed time helpers).
 //
-// Allowlisted packages: internal/stats (the one place that constructs
-// seeded sources) and internal/crypto/rsakey (its documented deterministic
-// prime search consumes an io.Reader and is the sanctioned substitute for
+// Allowlisting lives in internal/analysis/policy (AmbientEntropy):
+// internal/stats (the one place that constructs seeded sources) and
+// internal/crypto/rsakey (its documented deterministic prime search
+// consumes an io.Reader and is the sanctioned substitute for
 // crypto/rand.Prime).
 package detrand
 
@@ -31,6 +32,7 @@ import (
 	"strings"
 
 	"memshield/internal/analysis"
+	"memshield/internal/analysis/policy"
 )
 
 // Analyzer is the detrand analyzer.
@@ -39,12 +41,6 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "forbid wall-clock time and unseeded randomness; all entropy must " +
 		"come from internal/stats seeded RNGs (DESIGN.md §4 determinism)",
 	Run: run,
-}
-
-// allowedPkgs may use ambient randomness sources directly.
-var allowedPkgs = map[string]bool{
-	"memshield/internal/stats":         true, // constructs the seeded sources
-	"memshield/internal/crypto/rsakey": true, // documented deterministic prime search
 }
 
 // timeFuncs are the forbidden wall-clock reads.
@@ -63,7 +59,7 @@ var globalRandFuncs = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	if allowedPkgs[strings.TrimSuffix(pass.PkgPath, "_test")] {
+	if policy.Allowed(pass.PkgPath, policy.AmbientEntropy) {
 		return nil
 	}
 	// internal/runner promises byte-identical results at any worker count;

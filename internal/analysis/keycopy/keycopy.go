@@ -7,15 +7,19 @@
 // copy the scanner can never see and the countermeasures can never scrub,
 // silently invalidating every figure.
 //
-// Key-material sources (taint roots) are the byte-returning APIs of
-// internal/crypto/* and internal/ssl:
+// Key-material sources (taint roots) are not hardcoded here: any function
+// whose doc comment carries a `//memlint:source result=N` marker is a
+// source, with result N tainted. The loader collects the markers from the
+// declaring packages (internal/crypto/rsakey, internal/crypto/pemfile,
+// internal/ssl today) while type-checking them, so a new key-material
+// producer only has to mark itself.
 //
-//	(*rsakey.PrivateKey).MarshalDER / MarshalPEM
-//	pemfile.Decode (the DER payload result)
-//	(*ssl.BigNum).Bytes
-//
-// Taint propagates locally through assignment, re-slicing, append and
-// clones. Violations:
+// Taint is flow-sensitive: the pass runs a forward may-analysis over the
+// function's CFG (internal/analysis/dataflow), so a variable tainted in
+// one branch does not poison the sibling branch — only code the taint can
+// actually reach. Taint propagates through assignment, re-slicing, append
+// and clones, and merges by union at joins and around loop back edges.
+// Violations:
 //
 //   - bytes.Clone / slices.Clone of tainted bytes — an explicit second
 //     native copy, flagged unconditionally;
@@ -24,52 +28,36 @@
 //   - assigning or appending tainted bytes into a package-level variable
 //     or struct field (slice escape into a long-lived location).
 //
-// Allowlisted: the source packages themselves (crypto/*, ssl), and the
-// experimenter-side packages that by design retain search patterns or
-// captures (internal/scan, internal/keyfinder). Test files are skipped —
-// assertions on key bytes are not shipped code.
+// Allowlisted via internal/analysis/policy (KeyMaterial): the source
+// packages themselves (crypto/*, ssl), and the experimenter-side packages
+// that by design retain search patterns or captures (internal/scan,
+// internal/keyfinder). Test files are skipped — assertions on key bytes
+// are not shipped code.
 package keycopy
 
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 
 	"memshield/internal/analysis"
+	"memshield/internal/analysis/dataflow"
+	"memshield/internal/analysis/policy"
 )
 
 // Analyzer is the keycopy analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "keycopy",
 	Doc: "flag duplication or long-lived native-heap storage of private-key " +
-		"material returned by internal/crypto/* and internal/ssl (the paper's " +
+		"material declared by //memlint:source markers (the paper's " +
 		"\"exactly one copy\" audit, statically)",
 	Run: run,
 }
 
-// sources maps the full go/types name of a key-material API to the index
-// of its tainted result.
-var sources = map[string]int{
-	"(*memshield/internal/crypto/rsakey.PrivateKey).MarshalDER": 0,
-	"(*memshield/internal/crypto/rsakey.PrivateKey).MarshalPEM": 0,
-	"memshield/internal/crypto/pemfile.Decode":                  1,
-	"(*memshield/internal/ssl.BigNum).Bytes":                    0,
-}
-
-// allowedPkgs handle key material as their charter.
-var allowedPkgs = map[string]bool{
-	"memshield/internal/crypto/der":     true,
-	"memshield/internal/crypto/pemfile": true,
-	"memshield/internal/crypto/rsakey":  true,
-	"memshield/internal/ssl":            true,
-	"memshield/internal/scan":           true, // retains search patterns by design
-	"memshield/internal/keyfinder":      true, // retains captures by design
-}
-
 func run(pass *analysis.Pass) error {
-	if allowedPkgs[strings.TrimSuffix(pass.PkgPath, "_test")] {
+	if policy.Allowed(pass.PkgPath, policy.KeyMaterial) {
 		return nil
 	}
+	c := &checker{pass: pass}
 	for _, f := range pass.Files {
 		if pass.IsTestFile(f) {
 			continue
@@ -79,27 +67,34 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil {
 				return true
 			}
-			checkFunc(pass, fd.Body)
+			c.checkBody(fd.Body, nil)
 			return true
 		})
 	}
 	return nil
 }
 
-// sourceResult returns (result index, true) when call invokes a
+type checker struct {
+	pass *analysis.Pass
+}
+
+// facts is the taint set: variables currently holding key material.
+type facts = dataflow.Facts[*types.Var]
+
+// sourceResult returns (result index, true) when call invokes a marked
 // key-material source.
-func sourceResult(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
-	fn := analysis.FuncObj(pass.TypesInfo, call)
+func (c *checker) sourceResult(call *ast.CallExpr) (int, bool) {
+	fn := analysis.FuncObj(c.pass.TypesInfo, call)
 	if fn == nil {
 		return 0, false
 	}
-	idx, ok := sources[fn.FullName()]
+	idx, ok := c.pass.Sources[fn.FullName()]
 	return idx, ok
 }
 
 // cloneName reports a call to bytes.Clone or slices.Clone.
-func cloneName(pass *analysis.Pass, call *ast.CallExpr) string {
-	fn := analysis.FuncObj(pass.TypesInfo, call)
+func (c *checker) cloneName(call *ast.CallExpr) string {
+	fn := analysis.FuncObj(c.pass.TypesInfo, call)
 	if fn == nil {
 		return ""
 	}
@@ -112,19 +107,97 @@ func cloneName(pass *analysis.Pass, call *ast.CallExpr) string {
 	return ""
 }
 
+func (c *checker) builtinName(call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return ""
+	}
+	return id.Name
+}
+
+// isTainted decides whether an expression carries key material under the
+// given facts.
+func (c *checker) isTainted(e ast.Expr, fs facts) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := c.pass.TypesInfo.ObjectOf(x).(*types.Var)
+		return v != nil && fs.Has(v)
+	case *ast.SliceExpr:
+		return c.isTainted(x.X, fs)
+	case *ast.CallExpr:
+		if idx, ok := c.sourceResult(x); ok && idx == 0 {
+			return true
+		}
+		if c.cloneName(x) != "" && len(x.Args) == 1 {
+			return c.isTainted(x.Args[0], fs)
+		}
+		if c.builtinName(x) == "append" {
+			for _, a := range x.Args {
+				if c.isTainted(a, fs) {
+					return true
+				}
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func (c *checker) taintLHS(lhs ast.Expr, fs facts) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if v, ok := c.pass.TypesInfo.ObjectOf(id).(*types.Var); ok && !v.IsField() {
+			fs.Add(v)
+		}
+	}
+}
+
+// transfer is the gen-only taint transfer for one CFG node. It inspects
+// the node's full subtree — including function-literal bodies, so a
+// closure that smuggles taint into a captured variable still taints it
+// for the code after the literal (closures get their own precise pass in
+// checkBody, seeded from the facts at their occurrence).
+func (c *checker) transfer(n ast.Node, fs facts) {
+	dataflow.Inspect(n, func(m ast.Node) bool {
+		assign, ok := m.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch {
+		case len(assign.Lhs) == len(assign.Rhs):
+			for i, rhs := range assign.Rhs {
+				if c.isTainted(rhs, fs) {
+					c.taintLHS(assign.Lhs[i], fs)
+				}
+			}
+		case len(assign.Rhs) == 1:
+			// v, err := src(): taint the result at the source's index.
+			if call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr); ok {
+				if idx, ok := c.sourceResult(call); ok && idx < len(assign.Lhs) {
+					c.taintLHS(assign.Lhs[idx], fs)
+				}
+			}
+		}
+		return true
+	})
+}
+
 // longLivedTarget describes an expression naming a long-lived native-heap
 // location: a package-level variable or a struct field (any depth), or ""
 // when the expression is local.
-func longLivedTarget(pass *analysis.Pass, e ast.Expr) string {
+func (c *checker) longLivedTarget(e ast.Expr) string {
 	for {
 		switch x := ast.Unparen(e).(type) {
 		case *ast.Ident:
-			if analysis.IsPkgLevel(pass.TypesInfo.ObjectOf(x)) {
+			if analysis.IsPkgLevel(c.pass.TypesInfo.ObjectOf(x)) {
 				return "package-level variable " + x.Name
 			}
 			return ""
 		case *ast.SelectorExpr:
-			if v, ok := pass.TypesInfo.ObjectOf(x.Sel).(*types.Var); ok {
+			if v, ok := c.pass.TypesInfo.ObjectOf(x.Sel).(*types.Var); ok {
 				if v.IsField() {
 					return "struct field " + x.Sel.Name
 				}
@@ -145,112 +218,44 @@ func longLivedTarget(pass *analysis.Pass, e ast.Expr) string {
 	}
 }
 
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
-	tainted := map[*types.Var]bool{}
-
-	builtinName := func(call *ast.CallExpr) string {
-		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
-		if !ok {
-			return ""
-		}
-		if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
-			return ""
-		}
-		return id.Name
-	}
-
-	// isTainted decides whether an expression carries key material.
-	var isTainted func(e ast.Expr) bool
-	isTainted = func(e ast.Expr) bool {
-		switch x := ast.Unparen(e).(type) {
-		case *ast.Ident:
-			v, _ := pass.TypesInfo.ObjectOf(x).(*types.Var)
-			return v != nil && tainted[v]
-		case *ast.SliceExpr:
-			return isTainted(x.X)
-		case *ast.CallExpr:
-			if idx, ok := sourceResult(pass, x); ok && idx == 0 {
-				return true
-			}
-			if cloneName(pass, x) != "" && len(x.Args) == 1 {
-				return isTainted(x.Args[0])
-			}
-			if builtinName(x) == "append" {
-				for _, a := range x.Args {
-					if isTainted(a) {
-						return true
-					}
-				}
-			}
-			return false
-		default:
-			return false
-		}
-	}
-	taintLHS := func(lhs ast.Expr) {
-		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
-			if v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok && !v.IsField() && !tainted[v] {
-				tainted[v] = true
-			}
-		}
-	}
-
-	// Taint fixpoint over the function's assignments.
-	var stmts []ast.Stmt
-	ast.Inspect(body, func(n ast.Node) bool {
-		if s, ok := n.(ast.Stmt); ok {
-			stmts = append(stmts, s)
-		}
-		return true
+// checkBody runs the dataflow pass over one function body and reports
+// violations with the facts in force at each node. seed carries a
+// closure's captured taint (nil for top-level functions).
+func (c *checker) checkBody(body *ast.BlockStmt, seed facts) {
+	cfg := dataflow.New(body)
+	ins := dataflow.Forward(cfg, seed, c.transfer)
+	dataflow.Walk(cfg, ins, c.transfer, func(n ast.Node, fs facts) {
+		c.visit(n, fs)
 	})
-	for {
-		before := len(tainted)
-		for _, stmt := range stmts {
-			assign, ok := stmt.(*ast.AssignStmt)
-			if !ok {
-				continue
-			}
-			switch {
-			case len(assign.Lhs) == len(assign.Rhs):
-				for i, rhs := range assign.Rhs {
-					if isTainted(rhs) {
-						taintLHS(assign.Lhs[i])
-					}
-				}
-			case len(assign.Rhs) == 1:
-				// v, err := src(): taint the result at the source's index.
-				if call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr); ok {
-					if idx, ok := sourceResult(pass, call); ok && idx < len(assign.Lhs) {
-						taintLHS(assign.Lhs[idx])
-					}
-				}
-			}
-		}
-		if len(tainted) == before {
-			break
-		}
-	}
+}
 
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
+// visit reports every violation inside one CFG node. Function literals
+// are analyzed by a recursive checkBody seeded with the current facts,
+// not descended into here.
+func (c *checker) visit(n ast.Node, fs facts) {
+	dataflow.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			c.checkBody(m.Body, fs.Clone())
+			return false
 		case *ast.CallExpr:
-			if name := cloneName(pass, n); name != "" && len(n.Args) == 1 && isTainted(n.Args[0]) {
-				pass.Reportf(n.Pos(), "%s duplicates private-key material on the native "+
+			if name := c.cloneName(m); name != "" && len(m.Args) == 1 && c.isTainted(m.Args[0], fs) {
+				c.pass.Reportf(m.Pos(), "%s duplicates private-key material on the native "+
 					"heap; keep exactly one transient copy (DESIGN.md §5.8)", name)
 			}
-			if builtinName(n) == "copy" && len(n.Args) == 2 && isTainted(n.Args[1]) {
-				if dst := longLivedTarget(pass, n.Args[0]); dst != "" {
-					pass.Reportf(n.Pos(), "copy writes private-key material into "+
+			if c.builtinName(m) == "copy" && len(m.Args) == 2 && c.isTainted(m.Args[1], fs) {
+				if dst := c.longLivedTarget(m.Args[0]); dst != "" {
+					c.pass.Reportf(m.Pos(), "copy writes private-key material into "+
 						"long-lived %s; key bytes must stay transient on the native heap", dst)
 				}
 			}
 		case *ast.AssignStmt:
-			for i, rhs := range n.Rhs {
-				if len(n.Lhs) != len(n.Rhs) || !isTainted(rhs) {
+			for i, rhs := range m.Rhs {
+				if len(m.Lhs) != len(m.Rhs) || !c.isTainted(rhs, fs) {
 					continue
 				}
-				if dst := longLivedTarget(pass, n.Lhs[i]); dst != "" {
-					pass.Reportf(n.Lhs[i].Pos(), "private-key material escapes into "+
+				if dst := c.longLivedTarget(m.Lhs[i]); dst != "" {
+					c.pass.Reportf(m.Lhs[i].Pos(), "private-key material escapes into "+
 						"long-lived %s; key bytes must stay transient on the native heap", dst)
 				}
 			}

@@ -20,3 +20,9 @@ func TestAllowed(t *testing.T) {
 func TestSourcePackage(t *testing.T) {
 	checktest.Run(t, "testdata", keycopy.Analyzer, "memshield/internal/ssl")
 }
+
+// TestFlowSensitivity pins branch-local taint, join unions, loop back
+// edges and closure seeding (the ttyleak false-positive regression).
+func TestFlowSensitivity(t *testing.T) {
+	checktest.Run(t, "testdata", keycopy.Analyzer, "keycopyflow")
+}

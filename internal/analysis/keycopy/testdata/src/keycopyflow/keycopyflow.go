@@ -1,0 +1,57 @@
+// Package keycopyflow pins the flow-sensitivity of keycopy's taint
+// engine: facts are per control-flow path, unioned at joins, and carried
+// around loop back edges. BranchLocal is the regression for the ttyleak
+// wrap-around false positive that forced a rename workaround under the
+// old flow-insensitive pass.
+package keycopyflow
+
+import "memshield/internal/crypto/rsakey"
+
+// cachedKey is the long-lived native location the fixtures store into.
+var cachedKey []byte
+
+// BranchLocal mirrors the ttyleak stitch shape: buf holds key bytes on
+// one path only, and the sibling path builds a fresh buffer. The store on
+// the else path must stay silent — the flow-insensitive pass tainted buf
+// function-wide and flagged it.
+func BranchLocal(key *rsakey.PrivateKey, whole bool) []byte {
+	var buf []byte
+	if whole {
+		buf = key.MarshalDER()
+	} else {
+		buf = make([]byte, 16)
+		cachedKey = buf // silent: buf carries no key bytes on this path
+	}
+	return buf
+}
+
+// JoinUnion pins the may-analysis merge: past the join buf may hold key
+// bytes (the if path), so the store is flagged.
+func JoinUnion(key *rsakey.PrivateKey, whole bool) {
+	var buf []byte
+	if whole {
+		buf = key.MarshalDER()
+	} else {
+		buf = make([]byte, 16)
+	}
+	cachedKey = buf // want `private-key material escapes into long-lived package-level variable cachedKey`
+}
+
+// LoopCarried pins the back edge: taint generated at the bottom of an
+// iteration reaches the top of the next one.
+func LoopCarried(key *rsakey.PrivateKey, n int) {
+	var buf []byte
+	for i := 0; i < n; i++ {
+		cachedKey = buf // want `private-key material escapes into long-lived package-level variable cachedKey`
+		buf = key.MarshalDER()
+	}
+}
+
+// ClosureCapture pins the funclit seeding: a closure created where key
+// bytes are live checks its body under the captured taint.
+func ClosureCapture(key *rsakey.PrivateKey) func() {
+	der := key.MarshalDER()
+	return func() {
+		cachedKey = der // want `private-key material escapes into long-lived package-level variable cachedKey`
+	}
+}

@@ -8,6 +8,27 @@
 // fixture paths map onto a checktest root directory (root/src/<path>, the
 // analysistest layout), and everything else is delegated to the standard
 // library's source importer, which compiles stdlib packages from GOROOT.
+//
+// Type-info caching (ROADMAP item 4): all Load calls in one process that
+// share a module root and fixture root also share one type-checking
+// session — one FileSet, one stdlib importer, one memo of checked
+// packages. The import chain (stdlib included) is type-checked once per
+// process instead of once per Load, which is what makes a test binary
+// that runs an analyzer over many fixture packages, or a driver that
+// loads patterns in several calls, pay the go/types cost once. Targets
+// are also checked lazily: with Tests set, only the test-augmented
+// variant of a target is built up front; the plain variant is checked on
+// demand, when (and only when) another package imports it.
+//
+// While type-checking, the loader scans function doc comments for
+// taint-source markers (ROADMAP item 2):
+//
+//	//memlint:source result=N
+//
+// declares that the function's N-th result carries key material. The
+// markers live in the packages that own the APIs (internal/crypto/*,
+// internal/ssl), and Result.Sources hands the accumulated table to the
+// keycopy analyzer — no more hardcoded source list in the analyzer.
 package load
 
 import (
@@ -19,8 +40,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // A Package is one loaded, type-checked package.
@@ -54,58 +78,111 @@ type Config struct {
 	Tests bool
 }
 
-// Loader memoizes type-checked packages across one load session.
+// A Result is one completed load.
+type Result struct {
+	// Pkgs are the packages matched by the patterns, in directory order.
+	Pkgs []*Package
+	Fset *token.FileSet
+	// Sources maps the go/types full name of every function carrying a
+	// //memlint:source marker — in any package type-checked by this
+	// session so far — to the index of its tainted result.
+	Sources map[string]int
+}
+
+// session is the process-wide type-checking state shared by every Load
+// with the same module root and fixture root: one FileSet, one stdlib
+// source importer, one package memo, one source-marker table.
+type session struct {
+	mu      sync.Mutex
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package // by PkgPath (+" [tests]" for augmented variants)
+	sources map[string]int
+}
+
+var (
+	sessionsMu sync.Mutex
+	sessions   = map[string]*session{}
+)
+
+func sessionFor(moduleRoot, fixtureRoot string) *session {
+	sessionsMu.Lock()
+	defer sessionsMu.Unlock()
+	key := moduleRoot + "\x00" + fixtureRoot
+	ses, ok := sessions[key]
+	if !ok {
+		fset := token.NewFileSet()
+		ses = &session{
+			fset:    fset,
+			std:     importer.ForCompiler(fset, "source", nil),
+			pkgs:    map[string]*Package{},
+			sources: map[string]int{},
+		}
+		sessions[key] = ses
+	}
+	return ses
+}
+
+// loader runs one Load over a session.
 type loader struct {
 	cfg        Config
 	modulePath string
-	fset       *token.FileSet
-	std        types.Importer
-	pkgs       map[string]*Package // by PkgPath
-	loading    map[string]bool     // cycle detection
+	ses        *session
+	loading    map[string]bool // cycle detection
 }
 
 // Load resolves the patterns and type-checks every matched package.
 // Patterns: "./..." (whole module), "dir/..." (subtree), and plain
 // directories relative to the module root (with or without "./").
-func (cfg Config) Load(patterns ...string) ([]*Package, *token.FileSet, error) {
+func (cfg Config) Load(patterns ...string) (*Result, error) {
 	root := cfg.ModuleRoot
 	if root == "" {
 		var err error
 		if root, err = FindModuleRoot(); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	root, err := filepath.Abs(root)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	cfg.ModuleRoot = root
+	if cfg.FixtureRoot != "" {
+		if cfg.FixtureRoot, err = filepath.Abs(cfg.FixtureRoot); err != nil {
+			return nil, err
+		}
+	}
 	modulePath, err := modulePathOf(root)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
+	ses := sessionFor(root, cfg.FixtureRoot)
+	ses.mu.Lock()
+	defer ses.mu.Unlock()
 	ld := &loader{
 		cfg:        cfg,
 		modulePath: modulePath,
-		fset:       token.NewFileSet(),
-		pkgs:       map[string]*Package{},
+		ses:        ses,
 		loading:    map[string]bool{},
 	}
-	ld.std = importer.ForCompiler(ld.fset, "source", nil)
 
 	targets, err := ld.expandPatterns(patterns)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var out []*Package
 	for _, tgt := range targets {
 		pkgs, err := ld.loadTarget(tgt)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		out = append(out, pkgs...)
 	}
-	return out, ld.fset, nil
+	sources := make(map[string]int, len(ses.sources))
+	for k, v := range ses.sources {
+		sources[k] = v
+	}
+	return &Result{Pkgs: out, Fset: ses.fset, Sources: sources}, nil
 }
 
 // FindModuleRoot walks upward from the working directory to go.mod.
@@ -248,26 +325,25 @@ func (ld *loader) importPathFor(dir string) (string, error) {
 	return ld.modulePath + "/" + rel, nil
 }
 
-// loadTarget type-checks one target package. With Tests set it follows
-// the `go list` model: the plain package stays memoized for importers,
-// while the analyzed target is an augmented variant that re-checks the
-// package with its in-package test files; external "foo_test" packages
-// come back as additional targets.
+// loadTarget type-checks one target package. Without Tests, that is the
+// plain package. With Tests it follows the `go list` model lazily: the
+// analyzed target is the variant augmented with its in-package test
+// files, external "foo_test" packages come back as additional targets,
+// and the plain variant is only checked if some other package imports it.
 func (ld *loader) loadTarget(tgt target) ([]*Package, error) {
-	path, dir := tgt.path, tgt.dir
-	pkg, err := ld.check(path, dir)
-	if err != nil {
-		return nil, err
-	}
 	if !ld.cfg.Tests {
+		pkg, err := ld.check(tgt.path, tgt.dir)
+		if err != nil {
+			return nil, err
+		}
 		return []*Package{pkg}, nil
 	}
-	target, err := ld.checkAugmented(pkg)
+	aug, err := ld.checkAugmented(tgt.path, tgt.dir)
 	if err != nil {
 		return nil, err
 	}
-	out := []*Package{target}
-	ext, err := ld.checkExternalTests(path, dir)
+	out := []*Package{aug}
+	ext, err := ld.checkExternalTests(tgt.path, tgt.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -306,10 +382,10 @@ func (ld *loader) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
-	return ld.std.Import(path)
+	return ld.ses.std.Import(path)
 }
 
-// parseDir parses the directory's .go files. select decides inclusion by
+// parseDir parses the directory's .go files. include decides inclusion by
 // file name; pkgName filters by declared package name when non-empty.
 func (ld *loader) parseDir(dir string, include func(name string) bool, pkgName string) ([]*ast.File, map[*ast.File]bool, error) {
 	ents, err := os.ReadDir(dir)
@@ -326,7 +402,7 @@ func (ld *loader) parseDir(dir string, include func(name string) bool, pkgName s
 		if !include(name) {
 			continue
 		}
-		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		f, err := parser.ParseFile(ld.ses.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -344,7 +420,7 @@ func (ld *loader) parseDir(dir string, include func(name string) bool, pkgName s
 // check type-checks one package without test files, memoized by import
 // path (this is the variant importers must see).
 func (ld *loader) check(path, dir string) (*Package, error) {
-	if pkg, ok := ld.pkgs[path]; ok {
+	if pkg, ok := ld.ses.pkgs[path]; ok {
 		return pkg, nil
 	}
 	if ld.loading[path] {
@@ -366,27 +442,66 @@ func (ld *loader) check(path, dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	ld.pkgs[path] = pkg
+	ld.ses.pkgs[path] = pkg
 	return pkg, nil
 }
 
-// checkAugmented re-checks plain's package with its in-package test files
-// included (the `go list` "foo [foo.test]" variant). The result is not
-// memoized: importers keep seeing the plain variant.
-func (ld *loader) checkAugmented(plain *Package) (*Package, error) {
-	files, testFiles, err := ld.parseDir(plain.Dir, func(string) bool { return true },
-		plain.Types.Name())
+// checkAugmented checks the package variant with its in-package test
+// files included (the `go list` "foo [foo.test]" variant), memoized
+// separately so importers keep seeing the plain variant — which is not
+// checked here at all: if nothing imports the target, its bodies are
+// type-checked exactly once.
+func (ld *loader) checkAugmented(path, dir string) (*Package, error) {
+	memoKey := path + " [tests]"
+	if pkg, ok := ld.ses.pkgs[memoKey]; ok {
+		return pkg, nil
+	}
+	all, testFiles, err := ld.parseDir(dir, func(string) bool { return true }, "")
 	if err != nil {
 		return nil, err
 	}
-	if len(testFiles) == 0 {
-		return plain, nil
+	// The directory may also hold "foo_test" external-test files; keep
+	// only the plain package, whose name a non-test file declares.
+	pkgName := ""
+	for _, f := range all {
+		if !testFiles[f] {
+			pkgName = f.Name.Name
+			break
+		}
 	}
-	return ld.typeCheck(plain.PkgPath, plain.Dir, files, testFiles)
+	if pkgName == "" {
+		return nil, fmt.Errorf("load: no non-test Go files in %s", dir)
+	}
+	var files []*ast.File
+	hasTests := false
+	for _, f := range all {
+		if f.Name.Name != pkgName {
+			continue
+		}
+		files = append(files, f)
+		if testFiles[f] {
+			hasTests = true
+		}
+	}
+	if !hasTests {
+		// Nothing to augment: the plain (memoized) variant is the target.
+		return ld.check(path, dir)
+	}
+	pkg, err := ld.typeCheck(path, dir, files, testFiles)
+	if err != nil {
+		return nil, err
+	}
+	ld.ses.pkgs[memoKey] = pkg
+	return pkg, nil
 }
 
-// checkExternalTests loads the "package foo_test" files of dir, if any.
+// checkExternalTests loads the "package foo_test" files of dir, if any,
+// memoized under the "_test" path.
 func (ld *loader) checkExternalTests(path, dir string) (*Package, error) {
+	extPath := path + "_test"
+	if pkg, ok := ld.ses.pkgs[extPath]; ok {
+		return pkg, nil
+	}
 	var base string
 	if plain, _, err := ld.parseDir(dir, func(name string) bool { return !strings.HasSuffix(name, "_test.go") }, ""); err == nil && len(plain) > 0 {
 		base = plain[0].Name.Name
@@ -397,7 +512,12 @@ func (ld *loader) checkExternalTests(path, dir string) (*Package, error) {
 	if err != nil || len(files) == 0 {
 		return nil, err
 	}
-	return ld.typeCheck(path+"_test", dir, files, testFiles)
+	pkg, err := ld.typeCheck(extPath, dir, files, testFiles)
+	if err != nil {
+		return nil, err
+	}
+	ld.ses.pkgs[extPath] = pkg
+	return pkg, nil
 }
 
 func (ld *loader) typeCheck(path, dir string, files []*ast.File, testFiles map[*ast.File]bool) (*Package, error) {
@@ -409,9 +529,12 @@ func (ld *loader) typeCheck(path, dir string, files []*ast.File, testFiles map[*
 		Implicits:  map[ast.Node]types.Object{},
 	}
 	conf := types.Config{Importer: ld}
-	tpkg, err := conf.Check(path, ld.fset, files, info)
+	tpkg, err := conf.Check(path, ld.ses.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	if err := ld.collectSources(files, info); err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
 	}
 	return &Package{
 		PkgPath:   path,
@@ -421,4 +544,54 @@ func (ld *loader) typeCheck(path, dir string, files []*ast.File, testFiles map[*
 		Info:      info,
 		testFiles: testFiles,
 	}, nil
+}
+
+// sourceRe matches the taint-source marker in a function's doc comment:
+//
+//	//memlint:source result=N
+var sourceRe = regexp.MustCompile(`^//memlint:source\s+result=(\d+)\s*$`)
+
+// collectSources records every marked function of the just-checked files
+// into the session's source table, validating that the named result
+// exists and is a byte slice (the only shape the taint rules model).
+func (ld *loader) collectSources(files []*ast.File, info *types.Info) error {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				m := sourceRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				fn, ok := info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				idx, err := strconv.Atoi(m[1])
+				if err != nil {
+					return fmt.Errorf("bad //memlint:source marker on %s: %v", fn.FullName(), err)
+				}
+				sig := fn.Type().(*types.Signature)
+				if idx >= sig.Results().Len() {
+					return fmt.Errorf("//memlint:source result=%d on %s: function has %d result(s)",
+						idx, fn.FullName(), sig.Results().Len())
+				}
+				res := sig.Results().At(idx).Type()
+				if s, ok := res.Underlying().(*types.Slice); !ok || !isByte(s.Elem()) {
+					return fmt.Errorf("//memlint:source result=%d on %s: result type %s is not a byte slice",
+						idx, fn.FullName(), res)
+				}
+				ld.ses.sources[fn.FullName()] = idx
+			}
+		}
+	}
+	return nil
+}
+
+func isByte(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
 }

@@ -15,21 +15,21 @@ func TestLoadModulePackage(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := load.Config{ModuleRoot: root}
-	pkgs, fset, err := cfg.Load("./internal/scan")
+	res, err := cfg.Load("./internal/scan")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("got %d packages, want 1", len(pkgs))
+	if len(res.Pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(res.Pkgs))
 	}
-	pkg := pkgs[0]
+	pkg := res.Pkgs[0]
 	if pkg.PkgPath != "memshield/internal/scan" {
 		t.Errorf("PkgPath = %q", pkg.PkgPath)
 	}
 	if pkg.Types.Scope().Lookup("Scanner") == nil {
 		t.Error("type Scanner not found in checked package")
 	}
-	if fset == nil || len(pkg.Files) == 0 {
+	if res.Fset == nil || len(pkg.Files) == 0 {
 		t.Error("missing fset or files")
 	}
 }
@@ -42,12 +42,12 @@ func TestLoadWithTests(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := load.Config{ModuleRoot: root, Tests: true}
-	pkgs, _, err := cfg.Load("./internal/mem")
+	res, err := cfg.Load("./internal/mem")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var sawTestFile bool
-	for _, pkg := range pkgs {
+	for _, pkg := range res.Pkgs {
 		for _, f := range pkg.Files {
 			if pkg.IsTestFile(f) {
 				sawTestFile = true
@@ -66,12 +66,12 @@ func TestRecursivePattern(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := load.Config{ModuleRoot: root}
-	pkgs, _, err := cfg.Load("./internal/analysis/...")
+	res, err := cfg.Load("./internal/analysis/...")
 	if err != nil {
 		t.Fatal(err)
 	}
 	seen := map[string]bool{}
-	for _, pkg := range pkgs {
+	for _, pkg := range res.Pkgs {
 		seen[pkg.PkgPath] = true
 		if strings.Contains(pkg.PkgPath, "testdata") {
 			t.Errorf("descended into testdata: %s", pkg.PkgPath)
@@ -85,5 +85,59 @@ func TestRecursivePattern(t *testing.T) {
 		if !seen[want] {
 			t.Errorf("missing package %s (got %v)", want, seen)
 		}
+	}
+}
+
+// TestSourceMarkers checks the //memlint:source protocol: loading the
+// packages that declare key-material APIs populates Result.Sources with
+// their full go/types names and tainted-result indexes.
+func TestSourceMarkers(t *testing.T) {
+	root, err := load.FindModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := load.Config{ModuleRoot: root}
+	res, err := cfg.Load("./internal/crypto/rsakey", "./internal/crypto/pemfile", "./internal/ssl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"(*memshield/internal/crypto/rsakey.PrivateKey).MarshalDER": 0,
+		"(*memshield/internal/crypto/rsakey.PrivateKey).MarshalPEM": 0,
+		"memshield/internal/crypto/pemfile.Decode":                  1,
+		"(*memshield/internal/ssl.BigNum).Bytes":                    0,
+	}
+	for name, idx := range want {
+		got, ok := res.Sources[name]
+		if !ok {
+			t.Errorf("marker missing for %s", name)
+		} else if got != idx {
+			t.Errorf("%s: result index = %d, want %d", name, got, idx)
+		}
+	}
+}
+
+// TestSessionCache pins the type-info cache: two Loads with the same
+// configuration share one session, so the second returns the identical
+// memoized package (and FileSet) instead of re-type-checking the chain.
+func TestSessionCache(t *testing.T) {
+	root, err := load.FindModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := load.Config{ModuleRoot: root}
+	first, err := cfg.Load("./internal/scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cfg.Load("./internal/scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Fset != second.Fset {
+		t.Error("second Load built a new FileSet: session not shared")
+	}
+	if first.Pkgs[0] != second.Pkgs[0] {
+		t.Error("second Load re-type-checked ./internal/scan: memo not shared")
 	}
 }

@@ -10,23 +10,28 @@
 // attacker captured these bytes" without doubling memory. Two rules follow:
 //
 //  1. Calling View at all is restricted to the disclosure-modelling
-//     packages (the scanner, the key finders, the attack drivers and the
-//     public facade). Anyone else indexing or slicing the physical array
-//     is bypassing the frame APIs.
+//     packages (policy.PhysRead in internal/analysis/policy: the scanner,
+//     the key finders, the attack drivers and the public facade). Anyone
+//     else indexing or slicing the physical array is bypassing the frame
+//     APIs.
 //  2. A view is read-only everywhere: writing through it (element
 //     assignment, copy-into, clear, append-in-place) would mutate physical
 //     memory behind the kernel's back, so it is flagged in every package.
 //
-// Views are tracked by local dataflow: variables assigned from a View call
-// or re-sliced from a tracked view inherit its taint.
+// Views are tracked flow-sensitively: a forward may-analysis over the
+// function's CFG (internal/analysis/dataflow) taints variables assigned
+// from a View call or re-sliced from a tracked view, per control-flow
+// path. A variable that aliases a view in one branch is not treated as a
+// view in the sibling branch — only at and after the join.
 package physaccess
 
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 
 	"memshield/internal/analysis"
+	"memshield/internal/analysis/dataflow"
+	"memshield/internal/analysis/policy"
 )
 
 // Analyzer is the physaccess analyzer.
@@ -40,27 +45,14 @@ var Analyzer = &analysis.Analyzer{
 // viewFullName is the go/types full name of the sanctioned aliasing API.
 const viewFullName = "(*memshield/internal/mem.Memory).View"
 
-// readAllowed may call View: they model disclosure (reading captured
-// bytes), which is the method's documented purpose.
-var readAllowed = []string{
-	"memshield",                    // facade: DumpMemory
-	"memshield/internal/scan",      // the scanmemory LKM analogue
-	"memshield/internal/keyfinder", // public-key-only recovery over captures
-	"memshield/internal/attack/",   // the disclosure attacks themselves
-	"memshield/internal/mem",       // owns the array
-}
-
 func run(pass *analysis.Pass) error {
-	pkg := strings.TrimSuffix(pass.PkgPath, "_test")
-	if pkg == "memshield/internal/mem" {
+	if pass.PkgPath == "memshield/internal/mem" ||
+		pass.PkgPath == "memshield/internal/mem_test" {
 		return nil
 	}
-	mayView := false
-	for _, entry := range readAllowed {
-		if pkg == entry || (strings.HasSuffix(entry, "/") && strings.HasPrefix(pkg, entry)) {
-			mayView = true
-			break
-		}
+	c := &checker{
+		pass:    pass,
+		mayView: policy.Allowed(pass.PkgPath, policy.PhysRead),
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -68,30 +60,38 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil {
 				return true
 			}
-			checkFunc(pass, fd.Body, mayView)
+			c.checkBody(fd.Body, nil)
 			return true
 		})
 	}
 	return nil
 }
 
+type checker struct {
+	pass    *analysis.Pass
+	mayView bool
+}
+
+// facts is the taint set: variables currently aliasing the physical array.
+type facts = dataflow.Facts[*types.Var]
+
 // isViewCall reports whether e is a call to Memory.View.
-func isViewCall(pass *analysis.Pass, e ast.Expr) bool {
+func (c *checker) isViewCall(e ast.Expr) bool {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok {
 		return false
 	}
-	fn := analysis.FuncObj(pass.TypesInfo, call)
+	fn := analysis.FuncObj(c.pass.TypesInfo, call)
 	return fn != nil && fn.FullName() == viewFullName
 }
 
 // baseVar unwraps parens and slice expressions down to the variable an
 // expression reads, or nil.
-func baseVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+func (c *checker) baseVar(e ast.Expr) *types.Var {
 	for {
 		switch x := ast.Unparen(e).(type) {
 		case *ast.Ident:
-			v, _ := pass.TypesInfo.ObjectOf(x).(*types.Var)
+			v, _ := c.pass.TypesInfo.ObjectOf(x).(*types.Var)
 			return v
 		case *ast.SliceExpr:
 			e = x.X
@@ -103,103 +103,105 @@ func baseVar(pass *analysis.Pass, e ast.Expr) *types.Var {
 
 // builtinName returns the name of the built-in function a call invokes,
 // or "".
-func builtinName(pass *analysis.Pass, call *ast.CallExpr) string {
+func (c *checker) builtinName(call *ast.CallExpr) string {
 	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
 	if !ok {
 		return ""
 	}
-	if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+	if _, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
 		return ""
 	}
 	return id.Name
 }
 
-// checkFunc taints view-derived variables by local fixpoint dataflow, then
-// reports View calls (when the package may not take views) and any write
-// through a view.
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, mayView bool) {
-	tainted := map[*types.Var]bool{}
-	isTainted := func(e ast.Expr) bool {
-		if isViewCall(pass, e) {
+// isTainted decides whether an expression aliases the physical array under
+// the given facts.
+func (c *checker) isTainted(e ast.Expr, fs facts) bool {
+	if c.isViewCall(e) {
+		return true
+	}
+	v := c.baseVar(e)
+	return v != nil && fs.Has(v)
+}
+
+// transfer is the gen-only view-taint transfer for one CFG node. Like
+// keycopy's, it inspects the full subtree including function-literal
+// bodies, so closures that re-alias a captured view keep it tainted after
+// the literal.
+func (c *checker) transfer(n ast.Node, fs facts) {
+	dataflow.Inspect(n, func(m ast.Node) bool {
+		assign, ok := m.(*ast.AssignStmt)
+		if !ok {
 			return true
 		}
-		v := baseVar(pass, e)
-		return v != nil && tainted[v]
-	}
-	taintLHS := func(lhs ast.Expr) {
-		if v := baseVar(pass, lhs); v != nil && !tainted[v] {
-			tainted[v] = true
-		}
-	}
-	// Fixpoint: each round may discover new tainted vars via copies like
-	// `alias := view` appearing before later uses.
-	for {
-		before := len(tainted)
-		for _, stmt := range flatten(body) {
-			assign, ok := stmt.(*ast.AssignStmt)
-			if !ok {
-				continue
-			}
-			switch {
-			case len(assign.Lhs) == len(assign.Rhs):
-				for i, rhs := range assign.Rhs {
-					if isTainted(rhs) {
-						taintLHS(assign.Lhs[i])
-					}
-				}
-			case len(assign.Rhs) == 1:
-				// v, err := m.View(...): the data result is Lhs[0].
-				if isViewCall(pass, assign.Rhs[0]) {
-					taintLHS(assign.Lhs[0])
-				}
+		taintLHS := func(lhs ast.Expr) {
+			if v := c.baseVar(lhs); v != nil {
+				fs.Add(v)
 			}
 		}
-		if len(tainted) == before {
-			break
+		switch {
+		case len(assign.Lhs) == len(assign.Rhs):
+			for i, rhs := range assign.Rhs {
+				if c.isTainted(rhs, fs) {
+					taintLHS(assign.Lhs[i])
+				}
+			}
+		case len(assign.Rhs) == 1:
+			// v, err := m.View(...): the data result is Lhs[0].
+			if c.isViewCall(assign.Rhs[0]) {
+				taintLHS(assign.Lhs[0])
+			}
 		}
-	}
+		return true
+	})
+}
 
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
+// checkBody runs the dataflow pass over one function body. seed carries a
+// closure's captured taint (nil for top-level functions).
+func (c *checker) checkBody(body *ast.BlockStmt, seed facts) {
+	cfg := dataflow.New(body)
+	ins := dataflow.Forward(cfg, seed, c.transfer)
+	dataflow.Walk(cfg, ins, c.transfer, func(n ast.Node, fs facts) {
+		c.visit(n, fs)
+	})
+}
+
+// visit reports violations inside one CFG node under its entry facts.
+// Function literals get their own recursive checkBody seeded with the
+// facts at their occurrence.
+func (c *checker) visit(n ast.Node, fs facts) {
+	dataflow.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			c.checkBody(m.Body, fs.Clone())
+			return false
 		case *ast.CallExpr:
-			if !mayView && isViewCall(pass, n) {
-				pass.Reportf(n.Pos(), "Memory.View aliases the physical-memory array; "+
+			if !c.mayView && c.isViewCall(m) {
+				c.pass.Reportf(m.Pos(), "Memory.View aliases the physical-memory array; "+
 					"outside the disclosure packages use Memory.Read or the frame APIs")
 			}
-			switch builtinName(pass, n) {
+			switch c.builtinName(m) {
 			case "copy", "append":
-				if len(n.Args) > 0 && isTainted(n.Args[0]) {
-					pass.Reportf(n.Pos(), "%s writes through a physical-memory view; "+
+				if len(m.Args) > 0 && c.isTainted(m.Args[0], fs) {
+					c.pass.Reportf(m.Pos(), "%s writes through a physical-memory view; "+
 						"views are read-only — use Memory.Write to mutate simulated RAM",
-						builtinName(pass, n))
+						c.builtinName(m))
 				}
 			case "clear":
-				if len(n.Args) == 1 && isTainted(n.Args[0]) {
-					pass.Reportf(n.Pos(), "clear writes through a physical-memory view; "+
+				if len(m.Args) == 1 && c.isTainted(m.Args[0], fs) {
+					c.pass.Reportf(m.Pos(), "clear writes through a physical-memory view; "+
 						"views are read-only — use Memory.Zero to scrub simulated RAM")
 				}
 			}
 		case *ast.AssignStmt:
-			for _, lhs := range n.Lhs {
+			for _, lhs := range m.Lhs {
 				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
-				if ok && isTainted(idx.X) {
-					pass.Reportf(lhs.Pos(), "element assignment writes through a "+
+				if ok && c.isTainted(idx.X, fs) {
+					c.pass.Reportf(lhs.Pos(), "element assignment writes through a "+
 						"physical-memory view; views are read-only — use Memory.Write")
 				}
 			}
 		}
 		return true
 	})
-}
-
-// flatten returns every statement in the block, recursively.
-func flatten(body *ast.BlockStmt) []ast.Stmt {
-	var out []ast.Stmt
-	ast.Inspect(body, func(n ast.Node) bool {
-		if s, ok := n.(ast.Stmt); ok {
-			out = append(out, s)
-		}
-		return true
-	})
-	return out
 }

@@ -16,3 +16,9 @@ func TestFlagged(t *testing.T) {
 func TestDisclosurePackage(t *testing.T) {
 	checktest.Run(t, "testdata", physaccess.Analyzer, "memshield/internal/attack/fakeleak")
 }
+
+// TestFlowSensitivity pins the ttyleak wrap-around regression: view taint
+// is branch-local, with a may-union past the join.
+func TestFlowSensitivity(t *testing.T) {
+	checktest.Run(t, "testdata", physaccess.Analyzer, "memshield/internal/attack/stitchleak")
+}

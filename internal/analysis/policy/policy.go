@@ -1,0 +1,114 @@
+// Package policy is the single declarative source of truth for which
+// packages hold which standing exemptions from the memlint analyzers
+// (ROADMAP item 3: the allowlists used to be hardcoded in detrand,
+// physaccess and keycopy separately). An analyzer never carries its own
+// package list; it asks Allowed. Growing the table is a reviewed policy
+// change, not an analyzer edit — and the suppression budget below makes
+// inline //memlint:allow growth a reviewed change too.
+package policy
+
+import "strings"
+
+// A Perm is one analyzer-specific permission a package can hold.
+type Perm int
+
+const (
+	// AmbientEntropy (detrand): the package may touch ambient
+	// time/randomness machinery directly.
+	AmbientEntropy Perm = iota
+	// PhysRead (physaccess): the package may call Memory.View — it
+	// models disclosure, reading captured bytes. Writes through views
+	// stay forbidden everywhere.
+	PhysRead
+	// KeyMaterial (keycopy): handling or retaining private-key bytes is
+	// the package's charter, so the "exactly one copy" taint rules do
+	// not apply inside it.
+	KeyMaterial
+)
+
+// An Entry grants one package (or subtree) its permissions. Why is
+// mandatory: an exemption without a reason rots.
+type Entry struct {
+	// Path is the import path; a trailing "/..." matches the subtree.
+	Path  string
+	Perms []Perm
+	Why   string
+}
+
+// Table is the committed exemption table, one entry per package.
+var Table = []Entry{
+	{"memshield", []Perm{PhysRead},
+		"public facade: DumpMemory hands captures to callers"},
+	{"memshield/internal/mem", []Perm{PhysRead},
+		"owns the physical-memory array"},
+	{"memshield/internal/stats", []Perm{AmbientEntropy},
+		"the one place that constructs seeded randomness sources"},
+	{"memshield/internal/crypto/rsakey", []Perm{AmbientEntropy, KeyMaterial},
+		"documented deterministic prime search; marshals its own key bytes"},
+	{"memshield/internal/crypto/der", []Perm{KeyMaterial},
+		"DER encode/decode of key structures is its charter"},
+	{"memshield/internal/crypto/pemfile", []Perm{KeyMaterial},
+		"PEM armor encode/decode of key payloads is its charter"},
+	{"memshield/internal/ssl", []Perm{KeyMaterial},
+		"simulated OpenSSL layer: BIGNUMs and key files are its subject"},
+	{"memshield/internal/scan", []Perm{PhysRead, KeyMaterial},
+		"the scanmemory LKM analogue; retains search patterns by design"},
+	{"memshield/internal/keyfinder", []Perm{PhysRead, KeyMaterial},
+		"public-key-only recovery over captures; retains what it recovers"},
+	{"memshield/internal/attack/...", []Perm{PhysRead},
+		"the disclosure attacks themselves read captured memory"},
+}
+
+// SimSyscallSurface lists the import-path prefixes of the simulated
+// kernel/libc syscall layer, the target surface of simerrcheck. Packages
+// on the surface may discard their own errors where they prove them
+// impossible.
+var SimSyscallSurface = []string{
+	"memshield/internal/mem",
+	"memshield/internal/kernel", // includes alloc, vm, fs, pagecache, proc
+	"memshield/internal/libc",
+}
+
+// SuppressionBudget caps the number of inline //memlint:allow directives
+// in live (non-testdata) code. Adding a suppression means raising this
+// number in the same change — the growth is reviewed here, next to the
+// table it bypasses. The fixtures under testdata/ that document the
+// directive syntax are exempt.
+const SuppressionBudget = 0
+
+// Allowed reports whether the package at pkgPath holds p. A "_test"
+// suffix (external test package variant) inherits the plain package's
+// permissions.
+func Allowed(pkgPath string, p Perm) bool {
+	pkgPath = strings.TrimSuffix(pkgPath, "_test")
+	for _, e := range Table {
+		if !matches(e.Path, pkgPath) {
+			continue
+		}
+		for _, q := range e.Perms {
+			if q == p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// OnSimSyscallSurface reports whether pkgPath is part of the simulated
+// syscall layer ("_test" variants included).
+func OnSimSyscallSurface(pkgPath string) bool {
+	pkgPath = strings.TrimSuffix(pkgPath, "_test")
+	for _, p := range SimSyscallSurface {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func matches(pattern, pkgPath string) bool {
+	if tree, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return pkgPath == tree || strings.HasPrefix(pkgPath, tree+"/")
+	}
+	return pkgPath == pattern
+}

@@ -1,0 +1,125 @@
+package policy_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memshield/internal/analysis"
+	"memshield/internal/analysis/load"
+	"memshield/internal/analysis/policy"
+)
+
+// TestTableSanity: every entry has a reason and at least one permission,
+// paths are unique and rooted in the module, and prefix entries use the
+// /... spelling exactly once.
+func TestTableSanity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range policy.Table {
+		if seen[e.Path] {
+			t.Errorf("duplicate table entry %q", e.Path)
+		}
+		seen[e.Path] = true
+		if strings.TrimSpace(e.Why) == "" {
+			t.Errorf("%s: empty Why — exemptions need reasons", e.Path)
+		}
+		if len(e.Perms) == 0 {
+			t.Errorf("%s: entry grants nothing", e.Path)
+		}
+		if !strings.HasPrefix(e.Path, "memshield") {
+			t.Errorf("%s: entry outside the module", e.Path)
+		}
+	}
+}
+
+// TestAllowed exercises exact, subtree and _test-variant matching.
+func TestAllowed(t *testing.T) {
+	tests := []struct {
+		path string
+		perm policy.Perm
+		want bool
+	}{
+		{"memshield/internal/stats", policy.AmbientEntropy, true},
+		{"memshield/internal/stats_test", policy.AmbientEntropy, true},
+		{"memshield/internal/stats", policy.PhysRead, false},
+		{"memshield/internal/attack/ttyleak", policy.PhysRead, true},
+		{"memshield/internal/attack", policy.PhysRead, true},
+		{"memshield/internal/attacker", policy.PhysRead, false},
+		{"memshield/internal/figures", policy.KeyMaterial, false},
+		{"memshield/internal/ssl", policy.KeyMaterial, true},
+		{"memshield", policy.PhysRead, true},
+		{"memshield", policy.KeyMaterial, false},
+	}
+	for _, tt := range tests {
+		if got := policy.Allowed(tt.path, tt.perm); got != tt.want {
+			t.Errorf("Allowed(%q, %v) = %v, want %v", tt.path, tt.perm, got, tt.want)
+		}
+	}
+}
+
+func TestOnSimSyscallSurface(t *testing.T) {
+	for path, want := range map[string]bool{
+		"memshield/internal/mem":        true,
+		"memshield/internal/kernel/vm":  true,
+		"memshield/internal/libc_test":  true,
+		"memshield/internal/kernelfoo":  false,
+		"memshield/internal/keyfinder":  false,
+	} {
+		if got := policy.OnSimSyscallSurface(path); got != want {
+			t.Errorf("OnSimSyscallSurface(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestSuppressionBudget walks every live (non-testdata) Go file in the
+// module and counts //memlint:allow directives. The count must equal
+// policy.SuppressionBudget exactly: adding a suppression, or removing
+// one without lowering the budget, is a policy change that has to happen
+// here. This is the "zero allowlist growth" CI gate.
+func TestSuppressionBudget(t *testing.T) {
+	root, err := load.FindModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	count := 0
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if analysis.IsAllowDirective(c.Text) {
+					count++
+					t.Logf("suppression at %s", fset.Position(c.Pos()))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != policy.SuppressionBudget {
+		t.Errorf("live //memlint:allow directives = %d, budget = %d; "+
+			"suppression growth must be committed in internal/analysis/policy",
+			count, policy.SuppressionBudget)
+	}
+}

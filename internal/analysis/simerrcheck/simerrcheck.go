@@ -37,38 +37,27 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 
 	"memshield/internal/analysis"
+	"memshield/internal/analysis/policy"
 )
 
 // Analyzer is the simerrcheck analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "simerrcheck",
 	Doc: "errors returned by the simulated kernel/libc syscall surface " +
-		"(internal/mem, internal/kernel/..., internal/libc) must be checked",
+		"(policy.SimSyscallSurface: internal/mem, internal/kernel/..., " +
+		"internal/libc) must be checked",
 	Run: run,
 }
 
-// simPrefixes are the import-path prefixes of the simulated syscall layer.
-var simPrefixes = []string{
-	"memshield/internal/mem",
-	"memshield/internal/kernel", // includes alloc, vm, fs, pagecache, proc
-	"memshield/internal/libc",
-}
-
-// isSimFunc reports whether fn belongs to the simulated syscall surface.
+// isSimFunc reports whether fn belongs to the simulated syscall surface,
+// as declared by policy.SimSyscallSurface.
 func isSimFunc(fn *types.Func) bool {
 	if fn == nil || fn.Pkg() == nil {
 		return false
 	}
-	path := fn.Pkg().Path()
-	for _, p := range simPrefixes {
-		if path == p || strings.HasPrefix(path, p+"/") {
-			return true
-		}
-	}
-	return false
+	return policy.OnSimSyscallSurface(fn.Pkg().Path())
 }
 
 // errorIndex returns the position of fn's trailing error result, or -1.
@@ -102,11 +91,8 @@ func simErrCall(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, int, bool
 
 func run(pass *analysis.Pass) error {
 	// The layer may discard its own errors where it proves them impossible.
-	pkg := strings.TrimSuffix(pass.PkgPath, "_test")
-	for _, p := range simPrefixes {
-		if pkg == p || strings.HasPrefix(pkg, p+"/") {
-			return nil
-		}
+	if policy.OnSimSyscallSurface(pass.PkgPath) {
+		return nil
 	}
 	ud := newUseDef(pass)
 	for _, f := range pass.Files {

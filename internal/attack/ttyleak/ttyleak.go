@@ -92,20 +92,20 @@ func Run(k *kernel.Kernel, patterns []scan.Pattern, rng *rand.Rand, cfg Config) 
 	} else {
 		// Wrap-around: stitch the tail and head into one attacker-owned
 		// buffer so patterns spanning the seam are still found. The views
-		// are only read from; the stitched buffer keeps a separate name so
-		// it is never confused with a live memory alias.
+		// are only read from; dump itself is a fresh allocation on this
+		// branch, never an alias of physical memory.
 		head := memSize - offset
-		stitched := make([]byte, 0, size)
+		dump = make([]byte, 0, size)
 		tail, err := k.Mem().View(mem.Addr(offset), head)
 		if err != nil {
 			return Result{}, fmt.Errorf("ttyleak: %w", err)
 		}
-		stitched = append(stitched, tail...)
+		dump = append(dump, tail...)
 		front, err := k.Mem().View(0, size-head)
 		if err != nil {
 			return Result{}, fmt.Errorf("ttyleak: %w", err)
 		}
-		dump = append(stitched, front...)
+		dump = append(dump, front...)
 	}
 	return Result{
 		Offset:  offset,

@@ -182,6 +182,8 @@ func (pub *PublicKey) Verify(msg, sig []byte) error {
 func (k *PrivateKey) Size() int { return (k.N.BitLen() + 7) / 8 }
 
 // MarshalDER encodes the key as a PKCS#1 RSAPrivateKey.
+//
+//memlint:source result=0
 func (k *PrivateKey) MarshalDER() []byte {
 	var body []byte
 	body = der.AppendInteger(body, nil) // version 0
@@ -193,6 +195,8 @@ func (k *PrivateKey) MarshalDER() []byte {
 
 // MarshalPEM encodes the key as a PEM-armored PKCS#1 file — the byte string
 // that lands in the page cache when a server loads its host key.
+//
+//memlint:source result=0
 func (k *PrivateKey) MarshalPEM() []byte {
 	return pemfile.Encode(PEMType, k.MarshalDER())
 }

@@ -79,6 +79,8 @@ func newBigNum(h *libc.Heap, value []byte) (*BigNum, error) {
 }
 
 // Bytes reads the big-endian value back from simulated memory.
+//
+//memlint:source result=0
 func (b *BigNum) Bytes() ([]byte, error) {
 	return b.heap.Read(b.ptr, b.size)
 }
