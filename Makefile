@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-self fuzz figures figures-smoke
+.PHONY: all build test race lint lint-self test-faults fuzz figures figures-smoke
 
 all: build lint test
 
@@ -17,8 +17,8 @@ race:
 	$(GO) test -race ./...
 
 # lint = the compiler-adjacent vet suite plus memlint, the repo's own
-# go/analysis-style checkers (detrand, physaccess, keycopy, simerrcheck).
-# See DESIGN.md "Static guarantees".
+# go/analysis-style checkers (detrand, physaccess, keycopy, simerrcheck,
+# nopanic). See DESIGN.md "Static guarantees".
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/memlint ./...
@@ -30,6 +30,13 @@ lint:
 lint-self:
 	$(GO) run ./cmd/memlint ./internal/analysis/...
 	$(GO) test -run TestSuppressionBudget ./internal/analysis/policy
+
+# Fault-injection matrix under the race detector: both servers × five
+# protection levels × 60 seeded plans, plus the seed-replay determinism
+# check and the no-false-security demonstrations (DESIGN.md §8). CI runs
+# this on each PR.
+test-faults:
+	$(GO) test -race -run 'TestFaultMatrix|TestNoFalseSecurity' -v .
 
 # Short fuzz smoke over every fuzz target (30s each).
 fuzz:

@@ -1,6 +1,6 @@
 // Command memlint is the repository's static-analysis gate: it runs the
-// internal/analysis suite — detrand, physaccess, keycopy, simerrcheck —
-// over the module and exits nonzero on any finding. CI runs it next to
+// internal/analysis suite — detrand, physaccess, keycopy, simerrcheck,
+// nopanic — over the module and exits nonzero on any finding. CI runs it next to
 // `go vet`; see DESIGN.md "Static guarantees" for the invariant each
 // analyzer enforces.
 //
@@ -31,6 +31,7 @@ import (
 	"memshield/internal/analysis/detrand"
 	"memshield/internal/analysis/keycopy"
 	"memshield/internal/analysis/load"
+	"memshield/internal/analysis/nopanic"
 	"memshield/internal/analysis/physaccess"
 	"memshield/internal/analysis/simerrcheck"
 )
@@ -41,6 +42,7 @@ var suite = []*analysis.Analyzer{
 	physaccess.Analyzer,
 	keycopy.Analyzer,
 	simerrcheck.Analyzer,
+	nopanic.Analyzer,
 }
 
 func main() {

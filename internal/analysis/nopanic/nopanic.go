@@ -1,0 +1,69 @@
+// Package nopanic implements the memlint analyzer backing the fault
+// matrix's no-panic property: inside the simulated machine
+// (policy.SimMachinePackages: internal/mem, internal/kernel/...,
+// internal/libc, internal/ssl) a direct call to panic() is forbidden in
+// non-test code. Those layers sit underneath the fault injector — every
+// operation on them can be made to fail on purpose — and the fail-closed
+// contract (DESIGN.md §8) says a failure must surface as an error the
+// caller can refuse or degrade on. A panic turns an injected fault into a
+// crash: the dynamic fault matrix would catch it at whichever sites a
+// sweep happens to hit, this analyzer proves it for every call site on
+// every path.
+//
+// The check is syntactic on the resolved builtin: only the predeclared
+// panic is flagged, so a user-defined function named panic (or a method
+// panic on some type) passes. Test files are exempt — tests may panic
+// freely in helpers. A package whose invariants genuinely cannot be
+// expressed as errors takes the policy.Panics permission with a rationale
+// in the policy table (internal/mem holds it for Frame's out-of-range
+// index, which only a simulator bug can produce).
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"memshield/internal/analysis"
+	"memshield/internal/analysis/policy"
+)
+
+// Analyzer is the nopanic analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc: "forbid panic() inside the simulated machine (policy.SimMachinePackages): " +
+		"every failure must surface as an error the caller can fail closed on " +
+		"(DESIGN.md §8)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !policy.OnSimMachine(pass.PkgPath) {
+		return nil
+	}
+	if policy.Allowed(pass.PkgPath, policy.Panics) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic on the simulated machine: %s must surface "+
+				"failures as errors so callers can fail closed (DESIGN.md §8); return an "+
+				"error, or grant policy.Panics with a rationale", pass.PkgPath)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"memshield/internal/analysis/checktest"
+	"memshield/internal/analysis/nopanic"
+)
+
+// TestFlagged loads a fixture under the internal/libc import path: a sim
+// machine package without the Panics permission, where every call of the
+// builtin panic (including through parentheses) is a finding — and a
+// shadowing declaration named panic is not.
+func TestFlagged(t *testing.T) {
+	checktest.Run(t, "testdata", nopanic.Analyzer, "memshield/internal/libc")
+}
+
+// TestPermittedPackage loads a fixture under the internal/mem import
+// path, which holds policy.Panics: its panics produce no findings.
+func TestPermittedPackage(t *testing.T) {
+	checktest.Run(t, "testdata", nopanic.Analyzer, "memshield/internal/mem")
+}
+
+// TestOffMachine loads a fixture outside policy.SimMachinePackages:
+// host-side tooling may panic freely.
+func TestOffMachine(t *testing.T) {
+	checktest.Run(t, "testdata", nopanic.Analyzer, "nopanicok")
+}

@@ -1,0 +1,28 @@
+// Fixture standing in for internal/libc: a sim machine package without
+// the Panics permission, so every call to the builtin panic is flagged.
+package libc
+
+import "errors"
+
+// Free stands in for a machine operation that hits an impossible state.
+func Free(p uintptr) error {
+	if p == 0 {
+		panic("free(nil)") // want `panic on the simulated machine`
+	}
+	return nil
+}
+
+// grow shows the builtin is caught through parentheses too.
+func grow(n int) {
+	if n < 0 {
+		(panic)("negative grow") // want `panic on the simulated machine`
+	}
+}
+
+// recoverable shows a shadowing declaration: this panic is an ordinary
+// function, not the builtin, so calls to it are not flagged.
+func recoverable() error {
+	panic := func(msg string) {} //nolint:all // deliberate shadow for the fixture
+	panic("shadowed, fine")
+	return errors.New("libc: recoverable")
+}

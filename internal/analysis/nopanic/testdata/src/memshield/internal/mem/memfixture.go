@@ -1,0 +1,13 @@
+// Fixture standing in for internal/mem, which holds the Panics
+// permission in the policy table (Frame's out-of-range index is a
+// simulator bug, not a machine condition): panics here produce no
+// findings.
+package mem
+
+// Byte stands in for Frame indexing.
+func Byte(frame []byte, off int) byte {
+	if off < 0 || off >= len(frame) {
+		panic("mem: offset out of frame") // permitted: policy.Panics granted
+	}
+	return frame[off]
+}

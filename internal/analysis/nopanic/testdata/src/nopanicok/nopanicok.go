@@ -1,0 +1,11 @@
+// Fixture for a package off the simulated machine (analysis tooling,
+// figure rendering, the CLI): the no-panic rule does not apply, so
+// nothing here is flagged.
+package nopanicok
+
+// MustParse is host-side tooling; panicking on programmer error is fine.
+func MustParse(ok bool) {
+	if !ok {
+		panic("nopanicok: bad literal")
+	}
+}

@@ -24,6 +24,12 @@ const (
 	// the package's charter, so the "exactly one copy" taint rules do
 	// not apply inside it.
 	KeyMaterial
+	// Panics (nopanic): the package may call panic() directly — reserved
+	// for invariant violations that can only mean a simulator bug, never
+	// for conditions reachable under fault injection. Everything else on
+	// the simulated machine must surface failures as errors the caller
+	// can fail closed on.
+	Panics
 )
 
 // An Entry grants one package (or subtree) its permissions. Why is
@@ -39,8 +45,10 @@ type Entry struct {
 var Table = []Entry{
 	{"memshield", []Perm{PhysRead},
 		"public facade: DumpMemory hands captures to callers"},
-	{"memshield/internal/mem", []Perm{PhysRead},
-		"owns the physical-memory array"},
+	{"memshield/internal/mem", []Perm{PhysRead, Panics},
+		"owns the physical-memory array; Frame panics on an out-of-range " +
+			"frame number because those are produced only by the allocator — " +
+			"an invalid one is a simulator bug, not a runtime condition"},
 	{"memshield/internal/stats", []Perm{AmbientEntropy},
 		"the one place that constructs seeded randomness sources"},
 	{"memshield/internal/crypto/rsakey", []Perm{AmbientEntropy, KeyMaterial},
@@ -67,6 +75,18 @@ var SimSyscallSurface = []string{
 	"memshield/internal/mem",
 	"memshield/internal/kernel", // includes alloc, vm, fs, pagecache, proc
 	"memshield/internal/libc",
+}
+
+// SimMachinePackages lists the import-path prefixes of the simulated
+// machine itself, the target surface of nopanic: the layers underneath the
+// fault injector, where every failure must surface as an error the caller
+// can fail closed on — a panic would turn an injected fault into a crash
+// instead of a refusal or a degraded status.
+var SimMachinePackages = []string{
+	"memshield/internal/mem",
+	"memshield/internal/kernel", // includes alloc, vm, fs, pagecache, proc
+	"memshield/internal/libc",
+	"memshield/internal/ssl",
 }
 
 // SuppressionBudget caps the number of inline //memlint:allow directives
@@ -99,6 +119,18 @@ func Allowed(pkgPath string, p Perm) bool {
 func OnSimSyscallSurface(pkgPath string) bool {
 	pkgPath = strings.TrimSuffix(pkgPath, "_test")
 	for _, p := range SimSyscallSurface {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// OnSimMachine reports whether pkgPath is part of the simulated machine
+// ("_test" variants included).
+func OnSimMachine(pkgPath string) bool {
+	pkgPath = strings.TrimSuffix(pkgPath, "_test")
+	for _, p := range SimMachinePackages {
 		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
 			return true
 		}

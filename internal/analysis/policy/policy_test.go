@@ -62,11 +62,11 @@ func TestAllowed(t *testing.T) {
 
 func TestOnSimSyscallSurface(t *testing.T) {
 	for path, want := range map[string]bool{
-		"memshield/internal/mem":        true,
-		"memshield/internal/kernel/vm":  true,
-		"memshield/internal/libc_test":  true,
-		"memshield/internal/kernelfoo":  false,
-		"memshield/internal/keyfinder":  false,
+		"memshield/internal/mem":       true,
+		"memshield/internal/kernel/vm": true,
+		"memshield/internal/libc_test": true,
+		"memshield/internal/kernelfoo": false,
+		"memshield/internal/keyfinder": false,
 	} {
 		if got := policy.OnSimSyscallSurface(path); got != want {
 			t.Errorf("OnSimSyscallSurface(%q) = %v, want %v", path, got, want)

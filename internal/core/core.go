@@ -28,8 +28,9 @@ import (
 
 // Auditor verifies a protection level's guarantees on a live machine.
 type Auditor struct {
-	k     *kernel.Kernel
-	level protect.Level
+	k      *kernel.Kernel
+	level  protect.Level
+	status *protect.Status
 }
 
 // New binds an auditor to a machine and its deployed protection level.
@@ -37,8 +38,19 @@ func New(k *kernel.Kernel, level protect.Level) *Auditor {
 	return &Auditor{k: k, level: level}
 }
 
+// NewWithStatus binds an auditor to a machine and a server's protection
+// status, enabling the no-false-security check: AuditEffective verifies
+// the level the run CLAIMS after degradations, not the one it was merely
+// configured for.
+func NewWithStatus(k *kernel.Kernel, status *protect.Status) *Auditor {
+	return &Auditor{k: k, level: status.Configured(), status: status}
+}
+
 // Level returns the audited protection level.
 func (a *Auditor) Level() protect.Level { return a.level }
+
+// Status returns the bound protection status (nil for New-built auditors).
+func (a *Auditor) Status() *protect.Status { return a.status }
 
 // Report is one audit's findings.
 type Report struct {
@@ -59,11 +71,31 @@ type Report struct {
 // OK reports whether the level's guarantees all hold.
 func (r *Report) OK() bool { return len(r.Violations) == 0 }
 
-// Audit inspects the machine against the level's guarantees.
+// Audit inspects the machine against the configured level's guarantees.
 func (a *Auditor) Audit(patterns []scan.Pattern) *Report {
+	return a.auditAt(a.level, patterns)
+}
+
+// AuditEffective is the no-false-security check: it audits the machine
+// against the level the run actually REPORTS — status.Effective(), after
+// every recorded refusal and degradation — and therefore must always pass
+// on a correctly fail-closed machine. A violation here means the run
+// claims protection stronger than the scanner can verify: exactly the
+// failure mode fault injection exists to catch. Without a bound status it
+// falls back to the configured level (identical to Audit).
+func (a *Auditor) AuditEffective(patterns []scan.Pattern) *Report {
+	level := a.level
+	if a.status != nil {
+		level = a.status.Effective()
+	}
+	return a.auditAt(level, patterns)
+}
+
+// auditAt inspects the machine against an explicit level's guarantees.
+func (a *Auditor) auditAt(level protect.Level, patterns []scan.Pattern) *Report {
 	matches := scan.New(a.k, patterns).Scan()
 	rep := &Report{
-		Level:            a.level,
+		Level:            level,
 		Summary:          scan.Summarize(matches),
 		PerPartAllocated: make(map[scan.Part]int),
 	}
@@ -81,12 +113,12 @@ func (a *Auditor) Audit(patterns []scan.Pattern) *Report {
 	}
 	rep.SwapHits = swapleak.Run(a.k, patterns).Summary.Total
 
-	if a.level.ZeroesUnallocated() && rep.Summary.Unallocated != 0 {
+	if level.ZeroesUnallocated() && rep.Summary.Unallocated != 0 {
 		rep.Violations = append(rep.Violations, fmt.Sprintf(
 			"%d key copies in unallocated memory; %s guarantees zero",
-			rep.Summary.Unallocated, a.level))
+			rep.Summary.Unallocated, level))
 	}
-	if a.level.MinimizesCopies() {
+	if level.MinimizesCopies() {
 		for _, part := range []scan.Part{scan.PartD, scan.PartP, scan.PartQ} {
 			if n := rep.PerPartAllocated[part]; n > 1 {
 				rep.Violations = append(rep.Violations, fmt.Sprintf(
@@ -105,7 +137,7 @@ func (a *Auditor) Audit(patterns []scan.Pattern) *Report {
 				rep.SwapHits))
 		}
 	}
-	if a.level.EvictsPEM() && rep.PerPartAllocated[scan.PartPEM] > 0 {
+	if level.EvictsPEM() && rep.PerPartAllocated[scan.PartPEM] > 0 {
 		rep.Violations = append(rep.Violations, fmt.Sprintf(
 			"%d PEM copies in the page cache; O_NOCACHE guarantees eviction",
 			rep.PerPartAllocated[scan.PartPEM]))

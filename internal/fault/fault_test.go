@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// replay runs n calls at each of the given sites round-robin and returns
+// the decision bitmaps per site.
+func replay(in *Injector, sites []Site, n int) map[Site][]bool {
+	out := make(map[Site][]bool, len(sites))
+	for i := 0; i < n; i++ {
+		for _, s := range sites {
+			out[s] = append(out[s], in.Fail(s) != nil)
+		}
+	}
+	return out
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	for _, s := range Sites() {
+		if err := in.Fail(s); err != nil {
+			t.Fatalf("nil injector injected at %s: %v", s, err)
+		}
+		if in.Calls(s) != 0 || in.Injected(s) != 0 {
+			t.Fatalf("nil injector has counters at %s", s)
+		}
+	}
+	if in.TotalInjected() != 0 {
+		t.Fatal("nil injector TotalInjected != 0")
+	}
+	if NewInjector(nil) != nil {
+		t.Fatal("NewInjector(nil) should be nil")
+	}
+}
+
+func TestNthScheduleExact(t *testing.T) {
+	plan := &Plan{Seed: 42, Rules: map[Site]Rule{
+		SiteMlock: {Nth: []uint64{2, 5}},
+	}}
+	in := NewInjector(plan)
+	var failed []uint64
+	for n := uint64(1); n <= 8; n++ {
+		if err := in.Fail(SiteMlock); err != nil {
+			failed = append(failed, n)
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error not ErrInjected: %v", err)
+			}
+		}
+	}
+	if len(failed) != 2 || failed[0] != 2 || failed[1] != 5 {
+		t.Fatalf("Nth schedule fired at %v, want [2 5]", failed)
+	}
+	if in.Calls(SiteMlock) != 8 || in.Injected(SiteMlock) != 2 {
+		t.Fatalf("counters = %d calls / %d injected, want 8/2",
+			in.Calls(SiteMlock), in.Injected(SiteMlock))
+	}
+	if in.TotalInjected() != 2 {
+		t.Fatalf("TotalInjected = %d, want 2", in.TotalInjected())
+	}
+}
+
+func TestProbabilisticDecisionsDeterministic(t *testing.T) {
+	plan := &Plan{Seed: 1234, Rules: map[Site]Rule{
+		SiteAllocPages: {Prob: 0.3},
+		SiteZeroOnFree: {Prob: 0.05},
+		SiteMalloc:     {Prob: 0.5},
+	}}
+	sites := []Site{SiteAllocPages, SiteZeroOnFree, SiteMalloc}
+	a := replay(NewInjector(plan), sites, 200)
+	b := replay(NewInjector(plan), sites, 200)
+	for _, s := range sites {
+		for i := range a[s] {
+			if a[s][i] != b[s][i] {
+				t.Fatalf("site %s call %d: decisions differ between replays", s, i+1)
+			}
+		}
+	}
+	// Sanity: prob 0.5 over 200 calls fires at least once and spares at
+	// least once.
+	any, all := false, true
+	for _, f := range a[SiteMalloc] {
+		any = any || f
+		all = all && f
+	}
+	if !any || all {
+		t.Fatalf("prob 0.5 degenerate over 200 calls (any=%v all=%v)", any, all)
+	}
+}
+
+func TestDecisionIndependentOfInterleaving(t *testing.T) {
+	plan := &Plan{Seed: 7, Rules: map[Site]Rule{
+		SiteAllocPages: {Prob: 0.4},
+		SiteEvict:      {Prob: 0.4},
+	}}
+	// Interleaved vs sequential: per-site decision sequences must match.
+	inter := replay(NewInjector(plan), []Site{SiteAllocPages, SiteEvict}, 100)
+	seq := NewInjector(plan)
+	var allocSeq, evictSeq []bool
+	for i := 0; i < 100; i++ {
+		allocSeq = append(allocSeq, seq.Fail(SiteAllocPages) != nil)
+	}
+	for i := 0; i < 100; i++ {
+		evictSeq = append(evictSeq, seq.Fail(SiteEvict) != nil)
+	}
+	for i := range allocSeq {
+		if allocSeq[i] != inter[SiteAllocPages][i] {
+			t.Fatalf("alloc decision %d depends on interleaving", i+1)
+		}
+		if evictSeq[i] != inter[SiteEvict][i] {
+			t.Fatalf("evict decision %d depends on interleaving", i+1)
+		}
+	}
+}
+
+func TestProbExtremes(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 9, Rules: map[Site]Rule{
+		SiteFSRead:    {Prob: 1},
+		SiteSwapStore: {Prob: 0},
+	}})
+	for i := 0; i < 10; i++ {
+		if in.Fail(SiteFSRead) == nil {
+			t.Fatal("prob 1 did not fail")
+		}
+		if in.Fail(SiteSwapStore) != nil {
+			t.Fatal("prob 0 failed")
+		}
+	}
+}
+
+func TestSiteStrings(t *testing.T) {
+	for _, s := range Sites() {
+		if s.String() == "" || s.String() == "Site(0)" {
+			t.Fatalf("site %d has no name", int(s))
+		}
+	}
+	if len(Sites()) != int(numSites)-1 {
+		t.Fatalf("Sites() returned %d sites, want %d", len(Sites()), int(numSites)-1)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 
+	"memshield/internal/fault"
 	"memshield/internal/mem"
 	"memshield/internal/trace"
 )
@@ -99,12 +100,18 @@ type Allocator struct {
 
 	// sink receives allocator events when tracing is enabled (nil = off).
 	sink trace.Sink
+	// injector makes fault-injection decisions (nil = no injection).
+	injector *fault.Injector
 
 	stats Stats
 }
 
 // SetSink attaches (or detaches, with nil) an event sink.
 func (a *Allocator) SetSink(s trace.Sink) { a.sink = s }
+
+// SetInjector attaches (or detaches, with nil) a fault injector covering
+// SiteAllocPages and SiteZeroOnFree.
+func (a *Allocator) SetInjector(in *fault.Injector) { a.injector = in }
 
 // emit sends an event to the sink if tracing is on.
 func (a *Allocator) emit(kind trace.Kind, pn mem.PageNum, aux int) {
@@ -212,6 +219,9 @@ func (a *Allocator) AllocPages(order int, owner mem.Owner) (mem.PageNum, error) 
 	if order < 0 || order > MaxOrder {
 		return 0, fmt.Errorf("alloc: order %d out of range [0,%d]", order, MaxOrder)
 	}
+	if err := a.injector.Fail(fault.SiteAllocPages); err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrOutOfMemory, err)
+	}
 	// Find the smallest order >= requested with a free block.
 	from := order
 	for from <= MaxOrder && len(a.free[from]) == 0 {
@@ -263,16 +273,39 @@ func (a *Allocator) BlockOrder(pn mem.PageNum) (int, error) {
 	return order, nil
 }
 
+// zeroPage clears one page, consulting the fault injector first: an
+// injected SiteZeroOnFree failure models clear_highpage not running.
+func (a *Allocator) zeroPage(pn mem.PageNum) error {
+	if err := a.injector.Fail(fault.SiteZeroOnFree); err != nil {
+		return err
+	}
+	return a.mem.ZeroPage(pn)
+}
+
 // Free returns the block headed by pn to the free lists, applying the
 // deallocation policy to its contents and merging buddies where possible.
 // Freeing a non-head or already-free page is an error (double free).
+//
+// Free is atomic: under PolicyZeroOnFree the block's pages are cleared
+// BEFORE any bookkeeping changes, so if clearing fails (injected or real)
+// the block simply stays allocated — it never reaches the free lists
+// dirty, and the caller can retry or keep it. The failure-free event and
+// stats sequence is unchanged by this ordering (EvZero per page, then one
+// EvFree).
 func (a *Allocator) Free(pn mem.PageNum) error {
 	order, ok := a.allocated[pn]
 	if !ok {
 		return fmt.Errorf("alloc: free of page %d which is not an allocated block head", pn)
 	}
-	delete(a.allocated, pn)
 	size := mem.PageNum(1) << order
+	if a.policy == PolicyZeroOnFree {
+		for p := pn; p < pn+size; p++ {
+			if err := a.zeroPage(p); err != nil {
+				return fmt.Errorf("alloc: zero on free: %w", err)
+			}
+		}
+	}
+	delete(a.allocated, pn)
 	for p := pn; p < pn+size; p++ {
 		f := a.mem.Frame(p)
 		f.State = mem.FrameFree
@@ -284,9 +317,6 @@ func (a *Allocator) Free(pn mem.PageNum) error {
 	switch a.policy {
 	case PolicyZeroOnFree:
 		for p := pn; p < pn+size; p++ {
-			if err := a.mem.ZeroPage(p); err != nil {
-				return fmt.Errorf("alloc: zero on free: %w", err)
-			}
 			a.stats.PagesZeroed++
 			a.emit(trace.EvZero, p, 0)
 		}
@@ -327,17 +357,25 @@ func (a *Allocator) insertAndMerge(pn mem.PageNum, order int) {
 // (a reallocated page belongs to its new owner and must not be clobbered;
 // its stale content was exposed only during the deferral window, which is
 // exactly the window Chow et al.'s design accepts).
+//
+// A page whose clearing fails stays in the queue and is retried on the
+// next Tick — a failed scrub is deferred further, never silently dropped,
+// so PendingZero over-reports rather than under-reports the dirty-page
+// exposure window.
 func (a *Allocator) Tick() {
+	pending := a.deferredZero[:0]
 	for _, pn := range a.deferredZero {
 		if a.mem.Frame(pn).State != mem.FrameFree {
 			continue
 		}
-		if err := a.mem.ZeroPage(pn); err == nil {
-			a.stats.PagesZeroed++
-			a.emit(trace.EvZero, pn, 0)
+		if err := a.zeroPage(pn); err != nil {
+			pending = append(pending, pn)
+			continue
 		}
+		a.stats.PagesZeroed++
+		a.emit(trace.EvZero, pn, 0)
 	}
-	a.deferredZero = a.deferredZero[:0]
+	a.deferredZero = pending
 }
 
 // PendingZero reports how many pages await deferred zeroing.

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"memshield/internal/fault"
 	"memshield/internal/mem"
 )
 
@@ -421,6 +422,115 @@ func TestQuickPageAccounting(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectedAllocFailure: a SiteAllocPages fault surfaces as
+// ErrOutOfMemory wrapping fault.ErrInjected and leaves the allocator
+// untouched — no partial splits, no lost pages.
+func TestInjectedAllocFailure(t *testing.T) {
+	_, a := newAlloc(t, 64, PolicyRetain)
+	a.SetInjector(fault.NewInjector(&fault.Plan{
+		Seed:  1,
+		Rules: map[fault.Site]fault.Rule{fault.SiteAllocPages: {Nth: []uint64{1}}},
+	}))
+	_, err := a.AllocPage(mem.OwnerUser)
+	if !errors.Is(err, ErrOutOfMemory) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("injected alloc = %v, want ErrOutOfMemory wrapping fault.ErrInjected", err)
+	}
+	if a.FreePages() != 64 {
+		t.Fatalf("FreePages after failed alloc = %d, want 64", a.FreePages())
+	}
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AllocPage(mem.OwnerUser); err != nil {
+		t.Fatalf("alloc after injected fault cleared = %v, want success", err)
+	}
+}
+
+// TestInjectedZeroOnFreeKeepsBlockAllocated: under PolicyZeroOnFree a
+// failed page clear aborts the free BEFORE any bookkeeping changes — the
+// block stays allocated and dirty (never free and dirty), and a later
+// retry completes the free with the scrub.
+func TestInjectedZeroOnFreeKeepsBlockAllocated(t *testing.T) {
+	m, a := newAlloc(t, 64, PolicyZeroOnFree)
+	a.SetInjector(fault.NewInjector(&fault.Plan{
+		Seed:  1,
+		Rules: map[fault.Site]fault.Rule{fault.SiteZeroOnFree: {Nth: []uint64{1}}},
+	}))
+	pn, err := a.AllocPage(mem.OwnerUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("dirty page contents")
+	if err := m.Write(pn.Base(), secret); err != nil {
+		t.Fatal(err)
+	}
+	ferr := a.Free(pn)
+	if !errors.Is(ferr, fault.ErrInjected) {
+		t.Fatalf("free under injected zero fault = %v, want fault.ErrInjected", ferr)
+	}
+	if _, err := a.BlockOrder(pn); err != nil {
+		t.Fatalf("block must stay allocated after failed zero-on-free: %v", err)
+	}
+	if m.Frame(pn).State != mem.FrameAllocated {
+		t.Fatalf("frame state = %v, want allocated", m.Frame(pn).State)
+	}
+	// CheckConsistency would reject a free-and-dirty page; an
+	// allocated-and-dirty one is the legal fail-closed outcome.
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(pn); err != nil {
+		t.Fatalf("retried free = %v, want success", err)
+	}
+	if !m.PageIsZero(pn) {
+		t.Fatal("page must be zero after successful retry")
+	}
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectedDeferredZeroRetriesOnNextTick: under PolicySecureDealloc a
+// page whose deferred clear fails stays queued — the scrub is deferred
+// further, never dropped — and the next Tick completes it.
+func TestInjectedDeferredZeroRetriesOnNextTick(t *testing.T) {
+	m, a := newAlloc(t, 64, PolicySecureDealloc)
+	a.SetInjector(fault.NewInjector(&fault.Plan{
+		Seed:  1,
+		Rules: map[fault.Site]fault.Rule{fault.SiteZeroOnFree: {Nth: []uint64{1}}},
+	}))
+	pn, err := a.AllocPage(mem.OwnerUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(pn.Base(), []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(pn); err != nil {
+		t.Fatal(err)
+	}
+	if a.PendingZero() != 1 {
+		t.Fatalf("PendingZero = %d, want 1", a.PendingZero())
+	}
+	a.Tick() // injected failure: page must stay queued
+	if a.PendingZero() != 1 {
+		t.Fatalf("PendingZero after faulted tick = %d, want 1 (retry queued)", a.PendingZero())
+	}
+	if m.PageIsZero(pn) {
+		t.Fatal("page should still be dirty after faulted tick")
+	}
+	a.Tick() // call 2 not scheduled: scrub completes
+	if a.PendingZero() != 0 {
+		t.Fatalf("PendingZero after clean tick = %d, want 0", a.PendingZero())
+	}
+	if !m.PageIsZero(pn) {
+		t.Fatal("page must be zero after retried tick")
+	}
+	if err := a.CheckConsistency(); err != nil {
 		t.Fatal(err)
 	}
 }

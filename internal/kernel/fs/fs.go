@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"memshield/internal/fault"
 	"memshield/internal/kernel/alloc"
 	"memshield/internal/kernel/pagecache"
 	"memshield/internal/mem"
@@ -51,6 +52,9 @@ const MaxLeakPerDir = mem.PageSize - dirHeaderSize
 var (
 	ErrNotFound = errors.New("fs: no such file")
 	ErrExists   = errors.New("fs: already exists")
+	// ErrIO is a backing-device read failure. Only produced under fault
+	// injection.
+	ErrIO = errors.New("fs: I/O error")
 )
 
 type file struct {
@@ -71,7 +75,13 @@ type FS struct {
 	dirs      map[string]*dir
 	nextID    int
 	leakFixed bool
+	// injector makes fault-injection decisions (nil = no injection).
+	injector *fault.Injector
 }
+
+// SetInjector attaches (or detaches, with nil) a fault injector covering
+// SiteFSRead.
+func (f *FS) SetInjector(in *fault.Injector) { f.injector = in }
 
 // Option configures the filesystem.
 type Option func(*FS)
@@ -124,6 +134,9 @@ func (f *FS) ReadFile(path string, flags OpenFlag) ([]byte, error) {
 	fl, ok := f.files[path]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, path)
+	}
+	if err := f.injector.Fail(fault.SiteFSRead); err != nil {
+		return nil, fmt.Errorf("%w: %q: %w", ErrIO, path, err)
 	}
 	data, err := f.cache.Read(fl.id, fl.data)
 	if err != nil {

@@ -17,9 +17,11 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
+	"memshield/internal/fault"
 	"memshield/internal/kernel/alloc"
 	"memshield/internal/kernel/fs"
 	"memshield/internal/kernel/pagecache"
@@ -45,6 +47,11 @@ type Config struct {
 	// TraceEvents, when positive, enables the kernel event tracer with a
 	// ring buffer of that capacity (see the trace package).
 	TraceEvents int
+	// FaultPlan, when non-nil, enables deterministic fault injection
+	// across the machine's syscall surface (see the fault package). The
+	// plan is compiled into one per-machine injector shared by alloc, vm,
+	// pagecache, fs and (via Injector) libc.
+	FaultPlan *fault.Plan
 }
 
 // DefaultConfig returns the unpatched machine used in the paper's threat
@@ -60,14 +67,15 @@ func DefaultConfig() Config {
 
 // Kernel is one booted simulated machine.
 type Kernel struct {
-	memory *mem.Memory
-	alloc  *alloc.Allocator
-	vm     *vm.Manager
-	cache  *pagecache.Cache
-	fs     *fs.FS
-	procs  *proc.Table
-	tracer *trace.Ring
-	clock  uint64
+	memory   *mem.Memory
+	alloc    *alloc.Allocator
+	vm       *vm.Manager
+	cache    *pagecache.Cache
+	fs       *fs.FS
+	procs    *proc.Table
+	tracer   *trace.Ring
+	injector *fault.Injector
+	clock    uint64
 }
 
 // New boots a machine from the config.
@@ -102,6 +110,13 @@ func New(cfg Config) (*Kernel, error) {
 		a.SetSink(k.tracer)
 		vmm.SetSink(k.tracer)
 	}
+	if cfg.FaultPlan != nil {
+		k.injector = fault.NewInjector(cfg.FaultPlan)
+		a.SetInjector(k.injector)
+		vmm.SetInjector(k.injector)
+		cache.SetInjector(k.injector)
+		k.fs.SetInjector(k.injector)
+	}
 	return k, nil
 }
 
@@ -127,6 +142,11 @@ func (k *Kernel) Procs() *proc.Table { return k.procs }
 
 // Trace returns the kernel event tracer (nil when tracing is disabled).
 func (k *Kernel) Trace() *trace.Ring { return k.tracer }
+
+// Injector returns the machine's fault injector (nil when fault injection
+// is disabled). User-space layers built on the kernel (libc) pull their
+// injection decisions from here so one plan covers the whole machine.
+func (k *Kernel) Injector() *fault.Injector { return k.injector }
 
 // Clock returns the current tick count.
 func (k *Kernel) Clock() uint64 { return k.clock }
@@ -235,17 +255,20 @@ func (k *Kernel) Fork(ppid int, name string) (int, error) {
 
 // Exit terminates a process: its address space is torn down (pages become
 // unallocated, contents surviving per the dealloc policy) and the table
-// entry is reaped.
+// entry is reaped. Teardown is best-effort: a DestroySpace failure (a page
+// whose zero-on-free could not run, say) is reported, but the address space
+// is gone regardless (DestroySpace guarantees that) and the table entry is
+// still reaped — a failed exit never leaves a zombie that blocks the
+// machine, only leaked-but-consistent frames named in the error.
 func (k *Kernel) Exit(pid int) error {
 	if err := k.procs.Exit(pid); err != nil {
 		return err
 	}
+	var errs error
 	if k.vm.HasSpace(pid) {
-		if err := k.vm.DestroySpace(pid); err != nil {
-			return err
-		}
+		errs = k.vm.DestroySpace(pid)
 	}
-	return k.procs.Reap(pid)
+	return errors.Join(errs, k.procs.Reap(pid))
 }
 
 // ReadFile performs a file read on behalf of a process, honouring ONoCache.

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 
+	"memshield/internal/fault"
 	"memshield/internal/kernel/alloc"
 	"memshield/internal/mem"
 )
@@ -36,8 +37,14 @@ type Cache struct {
 	alloc *alloc.Allocator
 	files map[int][]mem.PageNum
 	sizes map[int]int // cached content length per file
-	stats Stats
+	// injector makes fault-injection decisions (nil = no injection).
+	injector *fault.Injector
+	stats    Stats
 }
+
+// SetInjector attaches (or detaches, with nil) a fault injector covering
+// SiteEvict.
+func (c *Cache) SetInjector(in *fault.Injector) { c.injector = in }
 
 // New creates an empty page cache.
 func New(m *mem.Memory, a *alloc.Allocator) *Cache {
@@ -150,11 +157,19 @@ func (c *Cache) readPages(pages []mem.PageNum, size int) ([]byte, error) {
 // process (an mmap of the file is live).
 var ErrBusy = errors.New("pagecache: file pages are mapped")
 
+// ErrEvictIO is an eviction failure of the O_NOCACHE removal path. Only
+// produced under fault injection.
+var ErrEvictIO = errors.New("pagecache: eviction failed")
+
 // Evict removes the file's pages from the cache and frees them. With
 // zero=true the pages are cleared first (the O_NOCACHE patch's
 // clear_highpage call), guaranteeing no trace regardless of the allocator's
 // dealloc policy. Evicting an uncached file is a no-op; evicting a file
 // whose pages are memory-mapped fails with ErrBusy.
+//
+// If a page's release fails mid-way (an injected zero-on-free, say), the
+// cache entry is rewritten to hold exactly the not-yet-freed pages: no
+// freed page is ever left listed, so a retried Evict cannot double-free.
 func (c *Cache) Evict(fileID int, zero bool) error {
 	pages, ok := c.files[fileID]
 	if !ok {
@@ -165,13 +180,18 @@ func (c *Cache) Evict(fileID int, zero bool) error {
 			return fmt.Errorf("%w: file %d page %d", ErrBusy, fileID, pn)
 		}
 	}
-	for _, pn := range pages {
+	if err := c.injector.Fail(fault.SiteEvict); err != nil {
+		return fmt.Errorf("%w: file %d: %w", ErrEvictIO, fileID, err)
+	}
+	for i, pn := range pages {
 		if zero {
 			if err := c.mem.ZeroPage(pn); err != nil {
-				return err
+				c.files[fileID] = pages[i:]
+				return fmt.Errorf("pagecache: evict file %d: %w", fileID, err)
 			}
 		}
 		if err := c.alloc.Free(pn); err != nil {
+			c.files[fileID] = pages[i:]
 			return fmt.Errorf("pagecache: evict file %d: %w", fileID, err)
 		}
 		c.stats.Evictions++

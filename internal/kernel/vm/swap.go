@@ -140,3 +140,8 @@ func xorKeystream(buf []byte, seed uint64) {
 		buf[i] ^= byte(x)
 	}
 }
+
+// SlotInUse reports whether slot currently holds a page.
+func (sa *SwapArea) SlotInUse(slot int) bool {
+	return slot >= 0 && slot < len(sa.slotUsed) && sa.slotUsed[slot]
+}

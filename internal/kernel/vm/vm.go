@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"memshield/internal/fault"
 	"memshield/internal/kernel/alloc"
 	"memshield/internal/mem"
 	"memshield/internal/trace"
@@ -45,6 +46,13 @@ var (
 	ErrNoSwapSpace  = errors.New("vm: swap area full")
 	ErrNotSwappable = errors.New("vm: page not eligible for swap")
 	ErrReadOnly     = errors.New("vm: write to read-only mapping")
+	// ErrMlockDenied is the RLIMIT_MEMLOCK / EPERM refusal: the pin the
+	// paper's RSA_memory_align depends on was not granted. Only produced
+	// under fault injection.
+	ErrMlockDenied = errors.New("vm: mlock denied")
+	// ErrSwapIO is a swap-device write failure during swap-out, distinct
+	// from the device being full. Only produced under fault injection.
+	ErrSwapIO = errors.New("vm: swap store I/O error")
 )
 
 // pte is one page-table entry.
@@ -112,10 +120,16 @@ type Manager struct {
 	swap   *SwapArea
 	// sink receives VM events when tracing is enabled (nil = off).
 	sink trace.Sink
+	// injector makes fault-injection decisions (nil = no injection).
+	injector *fault.Injector
 }
 
 // SetSink attaches (or detaches, with nil) an event sink.
 func (mg *Manager) SetSink(s trace.Sink) { mg.sink = s }
+
+// SetInjector attaches (or detaches, with nil) a fault injector covering
+// SiteMlock and SiteSwapStore.
+func (mg *Manager) SetInjector(in *fault.Injector) { mg.injector = in }
 
 // emit sends an event to the sink if tracing is on.
 func (mg *Manager) emit(kind trace.Kind, pid int, pn mem.PageNum, aux int) {
@@ -191,9 +205,14 @@ func (mg *Manager) MapAnon(pid int, npages int, name string) (VAddr, error) {
 			return 0, fmt.Errorf("vm: MapAnon: %w", err)
 		}
 		// Anonymous mappings are zero-filled on first touch in real
-		// kernels; zero eagerly here.
+		// kernels; zero eagerly here. On failure the page just allocated
+		// joins the rollback, or the whole batch leaks.
 		if zerr := mg.mem.ZeroPage(pn); zerr != nil {
-			return 0, zerr
+			_ = mg.alloc.Free(pn)
+			for _, f := range frames {
+				_ = mg.alloc.Free(f)
+			}
+			return 0, fmt.Errorf("vm: MapAnon: %w", zerr)
 		}
 		frames = append(frames, pn)
 	}
@@ -265,7 +284,11 @@ func (mg *Manager) Unmap(pid int, addr VAddr, npages int) error {
 	return nil
 }
 
-// dropPTE releases whatever the PTE holds: a frame reference or a swap slot.
+// dropPTE releases whatever the PTE holds: a frame reference or a swap
+// slot. It is atomic: when this is the frame's last reference, nothing is
+// mutated until the allocator's Free succeeds (Free resets the frame's
+// metadata wholesale), so a failed zero-on-free leaves the mapping fully
+// intact for retry instead of stranding a mapper-less allocated frame.
 func (mg *Manager) dropPTE(pid int, e *pte) error {
 	if e.swapped {
 		mg.swap.Release(e.swapSlot)
@@ -275,13 +298,14 @@ func (mg *Manager) dropPTE(pid int, e *pte) error {
 		return nil
 	}
 	f := mg.mem.Frame(e.frame)
-	f.RemoveMapper(pid)
-	f.RefCount--
-	if f.RefCount <= 0 {
+	if f.RefCount <= 1 {
 		if err := mg.alloc.Free(e.frame); err != nil {
 			return fmt.Errorf("vm: release frame %d: %w", e.frame, err)
 		}
+		return nil
 	}
+	f.RemoveMapper(pid)
+	f.RefCount--
 	return nil
 }
 
@@ -315,19 +339,26 @@ func (mg *Manager) trimVMAs(s *AddressSpace, addr VAddr, npages int) {
 // contents intact unless the allocator policy clears them. This models
 // process exit, the moment the paper shows key copies entering unallocated
 // memory.
+// DestroySpace is best-effort: a PTE whose release fails (an injected
+// zero-on-free, say) is reported but does not abort the teardown — the
+// remaining PTEs are still dropped and the space is always removed, so a
+// partial failure can never leave a dangling address space whose PTEs
+// reference freed frames. Frames whose release failed stay allocated
+// (leaked, but structurally consistent) and are named in the joined error.
 func (mg *Manager) DestroySpace(pid int) error {
 	s, err := mg.Space(pid)
 	if err != nil {
 		return err
 	}
+	var errs error
 	for _, vp := range sortedVPages(s.pt) {
 		if err := mg.dropPTE(pid, s.pt[vp]); err != nil {
-			return fmt.Errorf("vm: destroy pid %d vpage %d: %w", pid, vp, err)
+			errs = errors.Join(errs, fmt.Errorf("vm: destroy pid %d vpage %d: %w", pid, vp, err))
 		}
 	}
 	delete(mg.spaces, pid)
 	mg.emit(trace.EvExit, pid, 0, 0)
-	return nil
+	return errs
 }
 
 // sortedVPages returns the page table's keys in ascending order, so that
@@ -507,8 +538,12 @@ func (mg *Manager) breakCOW(pid int, e *pte) error {
 
 // Mlock pins npages starting at addr: they will never be selected for
 // swap-out. This is the mlock() the paper's RSA_memory_align calls on the
-// key page.
+// key page. An injected denial (RLIMIT_MEMLOCK/EPERM) fails the whole
+// call before any page is pinned.
 func (mg *Manager) Mlock(pid int, addr VAddr, npages int) error {
+	if err := mg.injector.Fail(fault.SiteMlock); err != nil {
+		return fmt.Errorf("%w: %w", ErrMlockDenied, err)
+	}
 	return mg.setLock(pid, addr, npages, true)
 }
 
@@ -577,6 +612,12 @@ func (mg *Manager) IsLocked(pid int, addr VAddr) (bool, error) {
 // its contents (possibly key material) remain readable in unallocated
 // memory, which is why the paper insists key pages be mlocked. Locked and
 // COW-shared pages are not swappable.
+//
+// SwapOut is atomic: if the swap store is full (ErrNoSwapSpace), the
+// device write fails (injected ErrSwapIO), or the frame cannot be freed,
+// the victim page remains mapped, present and intact — there is no
+// partially-swapped state. A slot claimed before a later step fails is
+// released again.
 func (mg *Manager) SwapOut(pid int, addr VAddr) error {
 	s, err := mg.Space(pid)
 	if err != nil {
@@ -596,15 +637,19 @@ func (mg *Manager) SwapOut(pid int, addr VAddr) error {
 	if err != nil {
 		return err
 	}
+	if ierr := mg.injector.Fail(fault.SiteSwapStore); ierr != nil {
+		return fmt.Errorf("%w: %w", ErrSwapIO, ierr)
+	}
 	slot, err := mg.swap.Store(content)
 	if err != nil {
 		return err
 	}
-	f := mg.mem.Frame(e.frame)
-	f.RemoveMapper(pid)
-	f.RefCount--
+	// Free resets the frame's mapper/refcount metadata itself, so nothing
+	// is pre-mutated: a Free failure rolls back to exactly the pre-call
+	// state (modulo the released slot's content, which swap never clears).
 	if err := mg.alloc.Free(e.frame); err != nil {
-		return err
+		mg.swap.Release(slot)
+		return fmt.Errorf("vm: swap-out of frame %d: %w", e.frame, err)
 	}
 	e.present = false
 	e.swapped = true
@@ -662,6 +707,13 @@ func (mg *Manager) SwapOutVictims(pid int, n int) (int, error) {
 				continue
 			}
 			if err := mg.SwapOut(pid, vp.Base()); err != nil {
+				// A full swap area stays full for the rest of the scan;
+				// every later victim would fail identically, so stop.
+				// Other failures (injected store I/O) skip this victim
+				// only — its page stays mapped and intact.
+				if errors.Is(err, ErrNoSwapSpace) {
+					return evicted, nil
+				}
 				continue
 			}
 			evicted++
@@ -725,4 +777,71 @@ func (mg *Manager) SharedWith(pid int, addr VAddr) (bool, error) {
 		return false, err
 	}
 	return mg.mem.Frame(pn).RefCount > 1, nil
+}
+
+// CheckConsistency verifies the manager's structural invariants against
+// physical memory and the swap area, returning the first violation found.
+// Like alloc.CheckConsistency it exists for tests and property harnesses —
+// the fault matrix runs it after every injected-fault sweep to prove that
+// no error path, organic or injected, leaves the VM layer torn:
+//
+//  1. No PTE is simultaneously present and swapped.
+//  2. A present PTE references a valid, allocated frame that records the
+//     owning process as a mapper, and its virtual page lies inside one of
+//     the space's VMAs.
+//  3. A frame's RefCount is at least the number of present PTEs that
+//     reference it (non-VM holders may account for more, never fewer).
+//  4. A swapped PTE's slot is in range and in use, and no two PTEs share a
+//     slot (shared pages are never swapped).
+func (mg *Manager) CheckConsistency() error {
+	mapped := make(map[mem.PageNum]int)
+	slotOwned := make(map[int]bool)
+	for pid, s := range mg.spaces {
+		for vp, e := range s.pt {
+			if e.present && e.swapped {
+				return fmt.Errorf("vm: pid %d vpage %d both present and swapped", pid, vp)
+			}
+			if e.present {
+				if !mg.mem.ValidPage(e.frame) {
+					return fmt.Errorf("vm: pid %d vpage %d maps invalid frame %d", pid, vp, e.frame)
+				}
+				f := mg.mem.Frame(e.frame)
+				if f.State != mem.FrameAllocated {
+					return fmt.Errorf("vm: pid %d vpage %d maps frame %d in state %v", pid, vp, e.frame, f.State)
+				}
+				if !f.HasMapper(pid) {
+					return fmt.Errorf("vm: frame %d does not list mapper %d", e.frame, pid)
+				}
+				inVMA := false
+				for _, v := range s.vmas {
+					if v.Contains(vp.Base()) {
+						inVMA = true
+						break
+					}
+				}
+				if !inVMA {
+					return fmt.Errorf("vm: pid %d vpage %d mapped outside every VMA", pid, vp)
+				}
+				mapped[e.frame]++
+			}
+			if e.swapped {
+				if e.swapSlot < 0 || e.swapSlot >= mg.swap.Slots() {
+					return fmt.Errorf("vm: pid %d vpage %d swapped to out-of-range slot %d", pid, vp, e.swapSlot)
+				}
+				if !mg.swap.SlotInUse(e.swapSlot) {
+					return fmt.Errorf("vm: pid %d vpage %d swapped to released slot %d", pid, vp, e.swapSlot)
+				}
+				if slotOwned[e.swapSlot] {
+					return fmt.Errorf("vm: swap slot %d referenced by more than one PTE", e.swapSlot)
+				}
+				slotOwned[e.swapSlot] = true
+			}
+		}
+	}
+	for pn, n := range mapped {
+		if f := mg.mem.Frame(pn); f.RefCount < n {
+			return fmt.Errorf("vm: frame %d refcount %d below its %d present mappings", pn, f.RefCount, n)
+		}
+	}
+	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"memshield/internal/fault"
 	"memshield/internal/kernel/alloc"
 	"memshield/internal/mem"
 )
@@ -832,4 +833,142 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestSwapFullMidEvictionLeavesPageMapped is the swap-full regression test:
+// when SwapOut hits ErrNoSwapSpace (device full), the victim page must
+// remain mapped, present and intact — no partially-swapped state, nothing
+// released, structural invariants unbroken.
+func TestSwapFullMidEvictionLeavesPageMapped(t *testing.T) {
+	_, a, mg := newVM(t, 32, 1, alloc.PolicyRetain, false)
+	if _, err := mg.NewSpace(1); err != nil {
+		t.Fatal(err)
+	}
+	vaFill, _ := mg.MapAnon(1, 1, "filler")
+	va, _ := mg.MapAnon(1, 1, "victim")
+	payload := []byte("victim page payload")
+	if err := mg.Write(1, va, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the single swap slot, then hit the full device.
+	if err := mg.SwapOut(1, vaFill); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.SwapOut(1, va); !errors.Is(err, ErrNoSwapSpace) {
+		t.Fatalf("swap-out on full device = %v, want ErrNoSwapSpace", err)
+	}
+	got, err := mg.Read(1, va, len(payload))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("victim after failed swap-out: %q, %v; want intact mapping", got, err)
+	}
+	if pn, err := mg.FrameOf(1, va); err != nil || pn == 0 {
+		t.Fatalf("victim frame after failed swap-out: %d, %v; want still present", pn, err)
+	}
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// The failure must not have leaked the slot either: faulting the
+	// filler back in frees the one slot and the victim can now swap.
+	if _, err := mg.Read(1, vaFill, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.SwapOut(1, va); err != nil {
+		t.Fatalf("swap-out after space freed = %v, want success", err)
+	}
+}
+
+// TestInjectedSwapStoreErrorLeavesPageMapped covers the injected analogue:
+// a SiteSwapStore I/O error mid-eviction leaves the victim mapped and
+// intact, and consumes no swap slot.
+func TestInjectedSwapStoreErrorLeavesPageMapped(t *testing.T) {
+	_, a, mg := newVM(t, 32, 4, alloc.PolicyRetain, false)
+	mg.SetInjector(fault.NewInjector(&fault.Plan{
+		Seed:  1,
+		Rules: map[fault.Site]fault.Rule{fault.SiteSwapStore: {Nth: []uint64{1}}},
+	}))
+	if _, err := mg.NewSpace(1); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := mg.MapAnon(1, 1, "victim")
+	payload := []byte("survives injected store error")
+	if err := mg.Write(1, va, payload); err != nil {
+		t.Fatal(err)
+	}
+	err := mg.SwapOut(1, va)
+	if !errors.Is(err, ErrSwapIO) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("injected store error = %v, want ErrSwapIO wrapping fault.ErrInjected", err)
+	}
+	if mg.Swap().UsedSlots() != 0 {
+		t.Fatalf("used slots after failed store = %d, want 0", mg.Swap().UsedSlots())
+	}
+	got, rerr := mg.Read(1, va, len(payload))
+	if rerr != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("victim after injected store error: %q, %v; want intact mapping", got, rerr)
+	}
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// Call 2 is not scheduled to fail: the same page swaps out cleanly.
+	if err := mg.SwapOut(1, va); err != nil {
+		t.Fatalf("swap-out after injected fault cleared = %v, want success", err)
+	}
+}
+
+// TestInjectedMlockDenial pins the Mlock fault site: the denial arrives
+// before any page is pinned, and a later un-faulted call succeeds.
+func TestInjectedMlockDenial(t *testing.T) {
+	_, _, mg := newVM(t, 32, 4, alloc.PolicyRetain, false)
+	mg.SetInjector(fault.NewInjector(&fault.Plan{
+		Seed:  1,
+		Rules: map[fault.Site]fault.Rule{fault.SiteMlock: {Nth: []uint64{1}}},
+	}))
+	if _, err := mg.NewSpace(1); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := mg.MapAnon(1, 1, "key")
+	err := mg.Mlock(1, va, 1)
+	if !errors.Is(err, ErrMlockDenied) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("injected mlock = %v, want ErrMlockDenied wrapping fault.ErrInjected", err)
+	}
+	if locked, err := mg.IsLocked(1, va); err != nil || locked {
+		t.Fatalf("page locked after denied mlock: %v, %v", locked, err)
+	}
+	if err := mg.Mlock(1, va, 1); err != nil {
+		t.Fatalf("second mlock = %v, want success", err)
+	}
+	if locked, _ := mg.IsLocked(1, va); !locked {
+		t.Fatal("page must be locked after granted mlock")
+	}
+}
+
+// TestSwapOutVictimsStopsOnFullDevice: once the scan hits ErrNoSwapSpace
+// every later victim would fail identically, so the sweep stops early with
+// the pages it managed, all remaining mappings intact.
+func TestSwapOutVictimsStopsOnFullDevice(t *testing.T) {
+	_, a, mg := newVM(t, 64, 2, alloc.PolicyRetain, false)
+	if _, err := mg.NewSpace(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.MapAnon(1, 6, "heap"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := mg.SwapOutVictims(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("victims swapped = %d, want 2 (device capacity)", n)
+	}
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
 }

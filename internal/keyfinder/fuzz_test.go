@@ -24,15 +24,15 @@ func FuzzKeyfinderDERWalk(f *testing.F) {
 	}
 	der := key.MarshalDER()
 
-	f.Add(der)                           // clean structure
-	f.Add(der[:len(der)/2])              // truncated mid-structure
-	f.Add(append(der[:8:8], der...))     // nested: real header inside a decoy prefix
+	f.Add(der)                                                  // clean structure
+	f.Add(der[:len(der)/2])                                     // truncated mid-structure
+	f.Add(append(der[:8:8], der...))                            // nested: real header inside a decoy prefix
 	f.Add(append(bytes.Repeat([]byte{0x30, 0x82}, 64), der...)) // decoy headers before the key
 	lied := bytes.Clone(der)
 	lied[1] = 0x82 // wrong length form for the actual payload
 	f.Add(lied)
-	f.Add([]byte{0x30, 0x82, 0xff, 0xff})            // declared length beyond the image
-	f.Add(append(key.MarshalPEM(), der[:20]...))     // PEM armor followed by DER debris
+	f.Add([]byte{0x30, 0x82, 0xff, 0xff})        // declared length beyond the image
+	f.Add(append(key.MarshalPEM(), der[:20]...)) // PEM armor followed by DER debris
 	f.Add([]byte{})
 
 	pub := key.PublicKey

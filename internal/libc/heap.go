@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"memshield/internal/fault"
 	"memshield/internal/kernel"
 	"memshield/internal/kernel/vm"
 	"memshield/internal/mem"
@@ -33,9 +34,14 @@ const (
 
 // Errors reported by the heap.
 var (
-	ErrBadFree   = errors.New("libc: free of unknown pointer")
-	ErrBadSize   = errors.New("libc: bad allocation size")
-	ErrCorrupted = errors.New("libc: heap metadata corrupted")
+	ErrBadFree    = errors.New("libc: free of unknown pointer")
+	ErrDoubleFree = errors.New("libc: double free")
+	ErrBadSize    = errors.New("libc: bad allocation size")
+	ErrCorrupted  = errors.New("libc: heap metadata corrupted")
+	// ErrNoMem is a malloc failure. Produced organically when the kernel
+	// is out of pages (wrapping alloc.ErrOutOfMemory) or directly under
+	// fault injection.
+	ErrNoMem = errors.New("libc: out of memory")
 )
 
 // chunk is one allocation unit inside an arena.
@@ -110,9 +116,16 @@ func (h *Heap) Stats() Stats { return h.stats }
 // Malloc allocates n bytes and returns the virtual address. Contents are
 // NOT cleared (like real malloc, the chunk may contain stale data from a
 // previous allocation in the same arena).
+//
+// A failed Malloc — kernel out of pages, or an injected SiteMalloc fault —
+// leaves the heap unchanged: no chunk is carved, no arena is (durably)
+// mapped, and every counter keeps its pre-call value.
 func (h *Heap) Malloc(n int) (vm.VAddr, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("%w: %d", ErrBadSize, n)
+	}
+	if err := h.k.Injector().Fail(fault.SiteMalloc); err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrNoMem, err)
 	}
 	n = (n + chunkAlign - 1) &^ (chunkAlign - 1)
 	if n > arenaPages*mem.PageSize {
@@ -120,7 +133,7 @@ func (h *Heap) Malloc(n int) (vm.VAddr, error) {
 		pages := (n + mem.PageSize - 1) / mem.PageSize
 		base, err := h.k.VM().MapAnon(h.pid, pages, "malloc-large")
 		if err != nil {
-			return 0, err
+			return 0, fmt.Errorf("%w: %w", ErrNoMem, err)
 		}
 		h.aligned[base] = pages
 		h.stats.Mallocs++
@@ -136,7 +149,7 @@ func (h *Heap) Malloc(n int) (vm.VAddr, error) {
 	// Map a fresh arena.
 	base, err := h.k.VM().MapAnon(h.pid, arenaPages, "heap-arena")
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("%w: %w", ErrNoMem, err)
 	}
 	ar := &arena{base: base, pages: arenaPages,
 		chunks: []chunk{{off: 0, size: arenaPages * mem.PageSize, free: true}}}
@@ -200,7 +213,7 @@ func (h *Heap) Free(p vm.VAddr) error {
 		return fmt.Errorf("%w: %#x", ErrBadFree, p)
 	}
 	if ar.chunks[i].free {
-		return fmt.Errorf("libc: double free of %#x", p)
+		return fmt.Errorf("%w of %#x", ErrDoubleFree, p)
 	}
 	ar.chunks[i].free = true
 	h.coalesce(ar)
@@ -259,7 +272,11 @@ func (h *Heap) coalesce(ar *arena) {
 	ar.chunks = out
 }
 
-// releaseArena unmaps a fully-free arena.
+// releaseArena unmaps a fully-free arena. The arena's metadata is dropped
+// before the unmap: if the kernel fails to release some pages (an injected
+// zero-on-free), those pages leak as a dangling mapping, but the heap's
+// own chunk accounting stays consistent and a retried Free cannot
+// double-release the arena.
 func (h *Heap) releaseArena(ar *arena) error {
 	for i, a := range h.arenas {
 		if a == ar {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"memshield/internal/fault"
 	"memshield/internal/kernel"
 	"memshield/internal/kernel/alloc"
 	"memshield/internal/kernel/vm"
@@ -415,5 +416,132 @@ func TestReallocErrors(t *testing.T) {
 	p, _ := h.Malloc(16)
 	if _, err := h.Realloc(p, 0); !errors.Is(err, ErrBadSize) {
 		t.Fatalf("realloc to 0 = %v", err)
+	}
+}
+
+// TestDoubleFreeIsTypedAndHarmless: a double free returns ErrDoubleFree
+// (not a panic, not free-list corruption): the chunk accounting stays
+// consistent and every other allocation remains usable.
+func TestDoubleFreeIsTypedAndHarmless(t *testing.T) {
+	_, _, h := newHeap(t, 256, alloc.PolicyRetain)
+	p1, _ := h.Malloc(64)
+	p2, _ := h.Malloc(64) // keeps the arena alive after p1 is freed
+	if err := h.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p1); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("double free = %v, want ErrDoubleFree", err)
+	}
+	if err := h.CheckConsistency(); err != nil {
+		t.Fatalf("heap corrupted by double free: %v", err)
+	}
+	data := []byte("still works")
+	if err := h.Write(p2, data); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := h.Read(p2, len(data)); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("live chunk after double free: %q, %v", got, err)
+	}
+	if err := h.Free(p2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFreeOfUnownedPointerIsTypedAndHarmless: freeing a pointer the heap
+// never handed out (or an interior pointer) returns ErrBadFree and leaves
+// the chunk lists untouched.
+func TestFreeOfUnownedPointerIsTypedAndHarmless(t *testing.T) {
+	_, _, h := newHeap(t, 256, alloc.PolicyRetain)
+	p, _ := h.Malloc(64)
+	for _, bad := range []vm.VAddr{0xDEAD0000, p + 8, 0} {
+		if err := h.Free(bad); !errors.Is(err, ErrBadFree) {
+			t.Fatalf("Free(%#x) = %v, want ErrBadFree", bad, err)
+		}
+	}
+	if err := h.CheckConsistency(); err != nil {
+		t.Fatalf("heap corrupted by bad free: %v", err)
+	}
+	data := []byte("chunk intact")
+	if err := h.Write(p, data); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := h.Read(p, len(data)); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("chunk after bad frees: %q, %v", got, err)
+	}
+}
+
+// TestInjectedMallocFailureLeavesHeapUnchanged: an injected SiteMalloc
+// fault surfaces as ErrNoMem and the arena state — chunk lists, live
+// bytes, stats — is exactly the pre-call state.
+func TestInjectedMallocFailureLeavesHeapUnchanged(t *testing.T) {
+	k, err := kernel.New(kernel.Config{
+		MemPages:      256,
+		DeallocPolicy: alloc.PolicyRetain,
+		FaultPlan: &fault.Plan{
+			Seed:  1,
+			Rules: map[fault.Site]fault.Rule{fault.SiteMalloc: {Nth: []uint64{2}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := k.Spawn(0, "proc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(k, pid)
+	p, err := h.Malloc(64) // call 1: succeeds
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Write(p, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	statsBefore := h.Stats()
+	liveBefore := h.LiveBytes()
+	if _, err := h.Malloc(64); !errors.Is(err, ErrNoMem) {
+		t.Fatalf("injected malloc = %v, want ErrNoMem", err)
+	}
+	if h.Stats() != statsBefore {
+		t.Fatalf("stats changed by failed malloc: %+v -> %+v", statsBefore, h.Stats())
+	}
+	if h.LiveBytes() != liveBefore {
+		t.Fatalf("live bytes changed by failed malloc: %d -> %d", liveBefore, h.LiveBytes())
+	}
+	if err := h.CheckConsistency(); err != nil {
+		t.Fatalf("heap corrupted by failed malloc: %v", err)
+	}
+	if got, err := h.Read(p, 6); err != nil || !bytes.Equal(got, []byte("before")) {
+		t.Fatalf("existing chunk after failed malloc: %q, %v", got, err)
+	}
+	if _, err := h.Malloc(64); err != nil {
+		t.Fatalf("malloc after injected fault cleared = %v, want success", err)
+	}
+}
+
+// TestOrganicMallocFailureLeavesHeapUnchanged: the same invariant when the
+// failure is real — the kernel genuinely out of pages — rather than
+// injected: ErrNoMem wraps alloc.ErrOutOfMemory and nothing moves.
+func TestOrganicMallocFailureLeavesHeapUnchanged(t *testing.T) {
+	_, _, h := newHeap(t, 16, alloc.PolicyRetain)
+	p, err := h.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsBefore := h.Stats()
+	liveBefore := h.LiveBytes()
+	// 16-page machine: a 64-page large allocation cannot be satisfied.
+	_, err = h.Malloc(64 * mem.PageSize)
+	if !errors.Is(err, ErrNoMem) {
+		t.Fatalf("exhausted malloc = %v, want ErrNoMem", err)
+	}
+	if h.Stats() != statsBefore || h.LiveBytes() != liveBefore {
+		t.Fatal("failed large malloc must not change heap state")
+	}
+	if err := h.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
 	}
 }

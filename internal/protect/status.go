@@ -1,0 +1,174 @@
+// Status tracking: the fail-closed half of the package.
+//
+// A Level describes what a configuration PROMISES; a Status records what
+// the running machine actually DELIVERED. Every protection-critical
+// operation that fails (an mlock denial, a zero-on-free that did not run,
+// an O_NOCACHE eviction that could not scrub) either refuses the whole
+// setup or degrades a specific guarantee here, and Effective() maps the
+// surviving guarantees back onto the strongest level whose promises all
+// still hold. core.AuditEffective then verifies that even that downgraded
+// claim is one the memory scanner can confirm — the no-false-security
+// rule.
+package protect
+
+import "fmt"
+
+// Guarantee is one concrete protection property a level can promise.
+type Guarantee int
+
+// Guarantees.
+const (
+	// GuaranteeCopyMinimized: the key exists at most once in allocated
+	// memory (aligned region + COW sharing, no caches, no re-exec).
+	GuaranteeCopyMinimized Guarantee = iota + 1
+	// GuaranteeNoSwap: the key's pages are pinned and can never reach the
+	// swap device.
+	GuaranteeNoSwap
+	// GuaranteeZeroesUnallocated: unallocated memory holds no key bytes
+	// (zero-on-free, or secure deallocation after its window).
+	GuaranteeZeroesUnallocated
+	// GuaranteePEMEvicted: the PEM key file leaves no page-cache trace.
+	GuaranteePEMEvicted
+)
+
+func (g Guarantee) String() string {
+	switch g {
+	case GuaranteeCopyMinimized:
+		return "copy-minimized"
+	case GuaranteeNoSwap:
+		return "no-swap"
+	case GuaranteeZeroesUnallocated:
+		return "zeroes-unallocated"
+	case GuaranteePEMEvicted:
+		return "pem-evicted"
+	default:
+		return fmt.Sprintf("Guarantee(%d)", int(g))
+	}
+}
+
+// Promises returns the guarantees the level claims when everything works,
+// derived from the same predicates the servers configure themselves by.
+func (l Level) Promises() []Guarantee {
+	var out []Guarantee
+	if l.MinimizesCopies() {
+		out = append(out, GuaranteeCopyMinimized, GuaranteeNoSwap)
+	}
+	if l.ZeroesUnallocated() {
+		out = append(out, GuaranteeZeroesUnallocated)
+	}
+	if l.EvictsPEM() {
+		out = append(out, GuaranteePEMEvicted)
+	}
+	return out
+}
+
+// fallbacks lists, per configured level, the downgrade chain Effective
+// walks: strongest first, always ending in LevelNone. Only levels whose
+// promises are a subset of the configured level's mechanisms appear — a
+// degraded Integrated run may still honestly claim Library (alignment
+// held, zeroing did not) or Kernel (the reverse), but a degraded Library
+// run can only fall to None.
+func (l Level) fallbacks() []Level {
+	switch l {
+	case LevelIntegrated:
+		return []Level{LevelIntegrated, LevelLibrary, LevelKernel, LevelNone}
+	case LevelLibrary:
+		return []Level{LevelLibrary, LevelNone}
+	case LevelApp:
+		return []Level{LevelApp, LevelNone}
+	case LevelKernel:
+		return []Level{LevelKernel, LevelNone}
+	case LevelSecureDealloc:
+		return []Level{LevelSecureDealloc, LevelNone}
+	default:
+		return []Level{LevelNone}
+	}
+}
+
+// Status records what protection one server run actually delivered.
+// The zero value is unusable; create with NewStatus.
+type Status struct {
+	configured Level
+	refused    string
+	degraded   map[Guarantee]string
+}
+
+// NewStatus starts tracking a run configured for the given level, with
+// every promised guarantee intact.
+func NewStatus(configured Level) *Status {
+	if !configured.Valid() {
+		configured = LevelNone
+	}
+	return &Status{configured: configured, degraded: make(map[Guarantee]string)}
+}
+
+// Configured returns the level the run was asked for.
+func (s *Status) Configured() Level { return s.configured }
+
+// Degrade records that a guarantee no longer holds, with the reason.
+// Idempotent: the first reason is kept (it names the original failure;
+// later failures are usually consequences).
+func (s *Status) Degrade(g Guarantee, reason string) {
+	if _, ok := s.degraded[g]; !ok {
+		s.degraded[g] = reason
+	}
+}
+
+// Refuse records that setup failed outright and the run delivers no
+// protection claim at all (scrub-and-refuse). First reason is kept.
+func (s *Status) Refuse(reason string) {
+	if s.refused == "" {
+		s.refused = reason
+	}
+}
+
+// Refused reports whether the run was refused, with the reason.
+func (s *Status) Refused() (bool, string) { return s.refused != "", s.refused }
+
+// Degraded returns the recorded reason for a guarantee, if any.
+func (s *Status) Degraded(g Guarantee) (string, bool) {
+	r, ok := s.degraded[g]
+	return r, ok
+}
+
+// Effective returns the strongest level on the configured level's
+// downgrade chain whose promises all still hold. A refused run is
+// LevelNone. Effective never exceeds Configured, and with nothing
+// degraded it equals Configured.
+func (s *Status) Effective() Level {
+	if s.refused != "" {
+		return LevelNone
+	}
+	for _, l := range s.configured.fallbacks() {
+		ok := true
+		for _, g := range l.Promises() {
+			if _, degraded := s.degraded[g]; degraded {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return l
+		}
+	}
+	return LevelNone
+}
+
+// Summary renders the status for reports: the effective level plus every
+// recorded degradation.
+func (s *Status) Summary() string {
+	eff := s.Effective()
+	if refused, reason := s.Refused(); refused {
+		return fmt.Sprintf("refused (%s); effective %s", reason, eff)
+	}
+	if eff == s.configured && len(s.degraded) == 0 {
+		return fmt.Sprintf("intact at %s", eff)
+	}
+	out := fmt.Sprintf("configured %s, effective %s", s.configured, eff)
+	for _, g := range []Guarantee{GuaranteeCopyMinimized, GuaranteeNoSwap, GuaranteeZeroesUnallocated, GuaranteePEMEvicted} {
+		if reason, ok := s.degraded[g]; ok {
+			out += fmt.Sprintf("; %s lost: %s", g, reason)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package protect
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromisesPerLevel(t *testing.T) {
+	has := func(l Level, g Guarantee) bool {
+		for _, p := range l.Promises() {
+			if p == g {
+				return true
+			}
+		}
+		return false
+	}
+	if len(LevelNone.Promises()) != 0 {
+		t.Fatalf("LevelNone promises %v, want none", LevelNone.Promises())
+	}
+	for _, l := range []Level{LevelApp, LevelLibrary, LevelIntegrated} {
+		if !has(l, GuaranteeCopyMinimized) || !has(l, GuaranteeNoSwap) {
+			t.Fatalf("%s should promise copy-minimized + no-swap", l)
+		}
+	}
+	for _, l := range []Level{LevelKernel, LevelIntegrated, LevelSecureDealloc} {
+		if !has(l, GuaranteeZeroesUnallocated) {
+			t.Fatalf("%s should promise zeroes-unallocated", l)
+		}
+	}
+	if !has(LevelIntegrated, GuaranteePEMEvicted) {
+		t.Fatal("integrated should promise pem-evicted")
+	}
+	if has(LevelKernel, GuaranteeCopyMinimized) {
+		t.Fatal("kernel level must not promise copy-minimized")
+	}
+	if len(LevelIntegrated.Promises()) != 4 {
+		t.Fatalf("integrated promises %v, want all four", LevelIntegrated.Promises())
+	}
+}
+
+func TestEffectiveIntactEqualsConfigured(t *testing.T) {
+	for _, l := range All() {
+		if got := NewStatus(l).Effective(); got != l {
+			t.Fatalf("intact status at %s: effective %s", l, got)
+		}
+	}
+}
+
+func TestEffectiveDowngradeChains(t *testing.T) {
+	cases := []struct {
+		configured Level
+		lost       Guarantee
+		want       Level
+	}{
+		// Integrated survives a lost pin as Kernel (zeroing still holds)…
+		{LevelIntegrated, GuaranteeNoSwap, LevelKernel},
+		{LevelIntegrated, GuaranteeCopyMinimized, LevelKernel},
+		// …and a lost scrub as Library (alignment still holds).
+		{LevelIntegrated, GuaranteeZeroesUnallocated, LevelLibrary},
+		{LevelIntegrated, GuaranteePEMEvicted, LevelLibrary},
+		// Single-mechanism levels fall straight to None.
+		{LevelLibrary, GuaranteeNoSwap, LevelNone},
+		{LevelApp, GuaranteeCopyMinimized, LevelNone},
+		{LevelKernel, GuaranteeZeroesUnallocated, LevelNone},
+		{LevelSecureDealloc, GuaranteeZeroesUnallocated, LevelNone},
+		// Losing a guarantee a level never promised costs nothing.
+		{LevelKernel, GuaranteeNoSwap, LevelKernel},
+		{LevelApp, GuaranteePEMEvicted, LevelApp},
+	}
+	for _, c := range cases {
+		st := NewStatus(c.configured)
+		st.Degrade(c.lost, "injected")
+		if got := st.Effective(); got != c.want {
+			t.Errorf("%s minus %s: effective %s, want %s", c.configured, c.lost, got, c.want)
+		}
+	}
+}
+
+func TestEffectiveNeverExceedsConfigured(t *testing.T) {
+	order := map[Level]int{
+		LevelNone: 0, LevelSecureDealloc: 1, LevelKernel: 2,
+		LevelApp: 3, LevelLibrary: 3, LevelIntegrated: 4,
+	}
+	all := []Guarantee{GuaranteeCopyMinimized, GuaranteeNoSwap, GuaranteeZeroesUnallocated, GuaranteePEMEvicted}
+	for _, l := range All() {
+		for mask := 0; mask < 1<<len(all); mask++ {
+			st := NewStatus(l)
+			for i, g := range all {
+				if mask&(1<<i) != 0 {
+					st.Degrade(g, "x")
+				}
+			}
+			eff := st.Effective()
+			if order[eff] > order[l] {
+				t.Fatalf("%s with mask %b: effective %s is stronger", l, mask, eff)
+			}
+			// No-false-security at the status layer: the effective level
+			// must not promise any degraded guarantee.
+			for _, g := range eff.Promises() {
+				if _, degraded := st.Degraded(g); degraded {
+					t.Fatalf("%s mask %b: effective %s still promises degraded %s", l, mask, eff, g)
+				}
+			}
+		}
+	}
+}
+
+func TestRefuse(t *testing.T) {
+	st := NewStatus(LevelIntegrated)
+	st.Refuse("mlock denied at setup")
+	st.Refuse("later reason ignored")
+	if got := st.Effective(); got != LevelNone {
+		t.Fatalf("refused status effective %s, want none", got)
+	}
+	refused, reason := st.Refused()
+	if !refused || reason != "mlock denied at setup" {
+		t.Fatalf("Refused() = %v, %q", refused, reason)
+	}
+	if !strings.Contains(st.Summary(), "refused") {
+		t.Fatalf("summary %q should mention refusal", st.Summary())
+	}
+}
+
+func TestDegradeKeepsFirstReason(t *testing.T) {
+	st := NewStatus(LevelIntegrated)
+	st.Degrade(GuaranteeNoSwap, "first")
+	st.Degrade(GuaranteeNoSwap, "second")
+	if r, _ := st.Degraded(GuaranteeNoSwap); r != "first" {
+		t.Fatalf("reason %q, want first", r)
+	}
+	if !strings.Contains(st.Summary(), "no-swap lost: first") {
+		t.Fatalf("summary %q missing degradation", st.Summary())
+	}
+}

@@ -65,6 +65,12 @@ type Config struct {
 	// slot: no key material ever enters machine memory (the paper's
 	// "special hardware" endpoint). KeyPath is unused in this mode.
 	HSM *hsm.Slot
+	// Status, when set, receives the run's fail-closed protection record:
+	// Start failures refuse it, steady-state teardown failures degrade it.
+	// When nil the server tracks one internally; read it with
+	// Server.Status(). Passing it in lets a caller observe the refusal
+	// reason even when Start returns a nil *Server.
+	Status *protect.Status
 }
 
 func (c *Config) applyDefaults() {
@@ -138,76 +144,103 @@ type Server struct {
 	nonce    int64
 
 	stats   Stats
+	status  *protect.Status
 	running bool
 }
 
 // Start boots the server: double config pass, key load, initial worker pool.
+// Start is fail-closed: if any part of the deployment cannot be established
+// — either config-pass key load, the first generation's controlled discard,
+// a worker fork — the key material built so far is scrubbed, every spawned
+// process is torn down, the protection status records the refusal, and an
+// error is returned. A server that cannot deliver its configured level
+// never runs at a silently weaker one.
 func Start(k *kernel.Kernel, cfg Config) (*Server, error) {
 	cfg.applyDefaults()
+	status := cfg.Status
+	if status == nil {
+		status = protect.NewStatus(cfg.Level)
+	}
 	parentPID, err := k.Spawn(0, "apache2")
 	if err != nil {
-		return nil, fmt.Errorf("httpd: %w", err)
-	}
-	parentHeap := libc.New(k, parentPID)
-
-	if cfg.HSM != nil {
-		pub, err := cfg.HSM.PublicKey()
-		if err != nil {
-			return nil, fmt.Errorf("httpd: hsm: %w", err)
-		}
-		s := &Server{
-			k:          k,
-			cfg:        cfg,
-			parentPID:  parentPID,
-			parentHeap: parentHeap,
-			hsmKey:     keyBackend{op: cfg.HSM.PrivateOp, pub: pub},
-			conns:      make(map[int]*worker),
-			nonce:      cfg.Seed,
-			running:    true,
-		}
-		for i := 0; i < cfg.StartServers; i++ {
-			if _, err := s.forkWorker(); err != nil {
-				return nil, err
-			}
-		}
-		return s, nil
-	}
-
-	// Apache's double config pass: the key is loaded once per pass, and the
-	// first generation is only discarded after the second is built (old
-	// config lives until the new one is ready), so its chunks are not
-	// recycled by the second load. On the unpatched system the discard is
-	// a plain free — the stale d/p/q bytes behind the paper's observation
-	// that the key "appears multiple times" right at startup. With the
-	// aligned library the teardown scrubs (BN_FLG_STATIC_DATA's controlled
-	// release).
-	first, err := loadTLSKey(k, parentHeap, cfg)
-	if err != nil {
+		err = fmt.Errorf("httpd: %w", err)
+		status.Refuse(err.Error())
 		return nil, err
-	}
-	parentRSA, err := loadTLSKey(k, parentHeap, cfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := first.Free(cfg.Level.MinimizesCopies()); err != nil {
-		return nil, fmt.Errorf("httpd: config pass: %w", err)
 	}
 	s := &Server{
 		k:          k,
 		cfg:        cfg,
 		parentPID:  parentPID,
-		parentHeap: parentHeap,
-		parentRSA:  parentRSA,
+		parentHeap: libc.New(k, parentPID),
 		conns:      make(map[int]*worker),
 		nonce:      cfg.Seed,
+		status:     status,
 		running:    true,
+	}
+
+	if cfg.HSM != nil {
+		pub, err := cfg.HSM.PublicKey()
+		if err != nil {
+			return nil, s.refuse(fmt.Errorf("httpd: hsm: %w", err))
+		}
+		s.hsmKey = keyBackend{op: cfg.HSM.PrivateOp, pub: pub}
+	} else {
+		// Apache's double config pass: the key is loaded once per pass, and
+		// the first generation is only discarded after the second is built
+		// (old config lives until the new one is ready), so its chunks are
+		// not recycled by the second load. On the unpatched system the
+		// discard is a plain free — the stale d/p/q bytes behind the paper's
+		// observation that the key "appears multiple times" right at
+		// startup. With the aligned library the teardown scrubs
+		// (BN_FLG_STATIC_DATA's controlled release).
+		first, err := loadTLSKey(k, s.parentHeap, cfg)
+		if err != nil {
+			return nil, s.refuse(err)
+		}
+		parentRSA, err := loadTLSKey(k, s.parentHeap, cfg)
+		if err != nil {
+			// The first generation is live and must not be abandoned
+			// un-scrubbed on the refusal path.
+			return nil, s.refuse(errors.Join(err, first.Free(true)))
+		}
+		if err := first.Free(cfg.Level.MinimizesCopies()); err != nil {
+			return nil, s.refuse(errors.Join(
+				fmt.Errorf("httpd: config pass: %w", err), parentRSA.Free(true)))
+		}
+		s.parentRSA = parentRSA
 	}
 	for i := 0; i < cfg.StartServers; i++ {
 		if _, err := s.forkWorker(); err != nil {
-			return nil, err
+			return nil, s.refuse(err)
 		}
 	}
 	return s, nil
+}
+
+// refuse implements scrub-and-refuse for Start failures: tear down every
+// worker forked so far, scrub the parent's key if one was loaded, exit the
+// parent, and record the refusal. Teardown errors join the cause. Workers
+// exit before the parent key is scrubbed so the zeroing write does not
+// COW-split pages still shared with children.
+func (s *Server) refuse(cause error) error {
+	s.status.Refuse(cause.Error())
+	s.running = false
+	errs := []error{cause}
+	for len(s.workers) > 0 {
+		w := s.workers[len(s.workers)-1]
+		s.workers = s.workers[:len(s.workers)-1]
+		if err := s.k.Exit(w.pid); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if s.parentRSA != nil {
+		if err := s.parentRSA.Free(true); err != nil {
+			errs = append(errs, err)
+		}
+		s.parentRSA = nil
+	}
+	errs = append(errs, s.k.Exit(s.parentPID))
+	return errors.Join(errs...)
 }
 
 // loadTLSKey performs ssl_server_import_key for one process.
@@ -250,13 +283,21 @@ func (s *Server) forkWorker() (*worker, error) {
 	return w, nil
 }
 
-// reapWorker kills one idle worker, releasing its pages.
+// reapWorker kills one idle worker, releasing its pages. If the exit cannot
+// complete (pages stranded mid-teardown), the copy-minimization guarantee
+// is conservatively degraded: a reaped worker's stranded allocated pages
+// may hold the Montgomery-cache copies the level promised would be freed.
 func (s *Server) reapWorker(w *worker) error {
 	for i, x := range s.workers {
 		if x == w {
 			s.workers = append(s.workers[:i], s.workers[i+1:]...)
 			s.stats.WorkersReaped++
-			return s.k.Exit(w.pid)
+			if err := s.k.Exit(w.pid); err != nil {
+				s.status.Degrade(protect.GuaranteeCopyMinimized,
+					fmt.Sprintf("worker %d teardown incomplete: %v", w.pid, err))
+				return err
+			}
+			return nil
 		}
 	}
 	return fmt.Errorf("httpd: reap of unknown worker %d", w.pid)
@@ -264,6 +305,9 @@ func (s *Server) reapWorker(w *worker) error {
 
 // ParentPID returns the parent process's PID.
 func (s *Server) ParentPID() int { return s.parentPID }
+
+// Status returns the run's fail-closed protection record.
+func (s *Server) Status() *protect.Status { return s.status }
 
 // Stats returns a snapshot of the activity counters.
 func (s *Server) Stats() Stats { return s.stats }
@@ -302,6 +346,7 @@ func (s *Server) Connect() (int, error) {
 			break
 		}
 	}
+	fresh := false
 	if w == nil {
 		if len(s.workers) >= s.cfg.MaxClients {
 			return 0, ErrBusy
@@ -311,8 +356,15 @@ func (s *Server) Connect() (int, error) {
 		if err != nil {
 			return 0, err
 		}
+		fresh = true
 	}
 	if err := s.handshake(w); err != nil {
+		if fresh {
+			// Roll the just-forked worker back out of the pool: a failed
+			// first handshake may have left a partially built Montgomery
+			// cache in its pages.
+			err = errors.Join(err, s.reapWorker(w))
+		}
 		return 0, err
 	}
 	s.nextConn++
@@ -437,18 +489,27 @@ func (s *Server) Stop() error {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	var errs []error
 	for _, id := range ids {
 		if err := s.Disconnect(id); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
 	for len(s.workers) > 0 {
+		// Best effort: a stuck worker must not keep the rest of the pool
+		// (and the parent's key) alive. reapWorker already degraded the
+		// status.
 		if err := s.reapWorker(s.workers[len(s.workers)-1]); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
 	s.running = false
-	return s.k.Exit(s.parentPID)
+	if err := s.k.Exit(s.parentPID); err != nil {
+		s.status.Degrade(protect.GuaranteeCopyMinimized,
+			fmt.Sprintf("parent teardown incomplete: %v", err))
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // padTo left-pads b with zeros to length n.

@@ -7,6 +7,7 @@ import (
 	"memshield/internal/crypto/rsakey"
 	"memshield/internal/hsm"
 	"memshield/internal/kernel"
+	"memshield/internal/kernel/alloc"
 	"memshield/internal/protect"
 	"memshield/internal/scan"
 	"memshield/internal/stats"
@@ -374,5 +375,75 @@ func TestHSMBackedApacheLeavesNoKeyInMemory(t *testing.T) {
 	}
 	if device.Ops() != 8 {
 		t.Fatalf("device ops = %d, want 8", device.Ops())
+	}
+}
+
+// TestConnectOutOfMemoryFailsClosed: on a tiny machine, a connection whose
+// worker cannot be built refuses with an error chain naming
+// alloc.ErrOutOfMemory — no panic — and the rolled-back worker leaks no
+// key copies: the allocated d/p/q census after the failed attempt matches
+// the one before it, and the server keeps serving. LevelNone is the level
+// under test because its private-op caching makes every fresh worker's
+// first handshake durably allocate Montgomery buffers (literal p and q
+// copies) — the partially-built state that must not survive the rollback.
+func TestConnectOutOfMemoryFailsClosed(t *testing.T) {
+	k, err := kernel.New(kernel.Config{
+		MemPages:      256,
+		DeallocPolicy: protect.LevelNone.KernelPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := rsakey.Generate(stats.NewReader(5150), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.FS().WriteFile(keyPath, key.MarshalPEM()); err != nil {
+		t.Fatal(err)
+	}
+	sc := scan.New(k, scan.PatternsFor(key))
+	s, err := Start(k, Config{KeyPath: keyPath, Level: protect.LevelNone, Seed: 3, MaxClients: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	census := func() map[scan.Part]int {
+		counts := make(map[scan.Part]int)
+		for _, m := range sc.Scan() {
+			if m.Allocated {
+				counts[m.Part]++
+			}
+		}
+		return counts
+	}
+	var oomErr error
+	var before map[scan.Part]int
+	for i := 0; i < 2048; i++ {
+		before = census()
+		if _, err := s.Connect(); err != nil {
+			oomErr = err
+			break
+		}
+	}
+	if oomErr == nil {
+		t.Fatal("256-page machine never exhausted; shrink the config")
+	}
+	if !errors.Is(oomErr, alloc.ErrOutOfMemory) {
+		t.Fatalf("connect at exhaustion = %v, want chain naming alloc.ErrOutOfMemory", oomErr)
+	}
+	after := census()
+	for _, part := range []scan.Part{scan.PartD, scan.PartP, scan.PartQ} {
+		if after[part] != before[part] {
+			t.Fatalf("allocated %v copies %d -> %d across failed connect; partial state leaked",
+				part, before[part], after[part])
+		}
+	}
+	if !s.Running() {
+		t.Fatal("failed connect must not kill the server")
+	}
+	if err := k.Alloc().CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.VM().CheckConsistency(); err != nil {
+		t.Fatal(err)
 	}
 }

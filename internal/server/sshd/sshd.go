@@ -56,6 +56,12 @@ type Config struct {
 	// Tweaks applies individual copy-minimization measures on top of the
 	// level, for ablation studies.
 	Tweaks Tweaks
+	// Status, when set, receives the run's fail-closed protection record:
+	// Start failures refuse it, steady-state teardown failures degrade it.
+	// When nil the server tracks one internally; read it with
+	// Server.Status(). Passing it in lets a caller observe the refusal
+	// reason even when Start returns a nil *Server.
+	Status *protect.Status
 }
 
 // Tweaks toggles individual mitigation ingredients independently of the
@@ -114,11 +120,17 @@ type Server struct {
 	nonce    int64
 
 	stats   Stats
+	status  *protect.Status
 	running bool
 }
 
 // Start boots the server: spawn the master process, load (and, per the
-// level, align) the host key.
+// level, align) the host key. Start is fail-closed: if any part of the
+// deployment cannot be established — the PEM read, d2i, alignment, the
+// mlock — the key material built so far is scrubbed (by the ssl layer),
+// the master process is torn down, the protection status records the
+// refusal, and an error is returned. A server that cannot deliver its
+// configured level never runs at a silently weaker one.
 func Start(k *kernel.Kernel, cfg Config) (*Server, error) {
 	if cfg.SessionBufferBytes == 0 {
 		cfg.SessionBufferBytes = 16 * 1024
@@ -126,9 +138,15 @@ func Start(k *kernel.Kernel, cfg Config) (*Server, error) {
 	if !cfg.Level.Valid() {
 		cfg.Level = protect.LevelNone
 	}
+	status := cfg.Status
+	if status == nil {
+		status = protect.NewStatus(cfg.Level)
+	}
 	masterPID, err := k.Spawn(0, "sshd")
 	if err != nil {
-		return nil, fmt.Errorf("sshd: %w", err)
+		err = fmt.Errorf("sshd: %w", err)
+		status.Refuse(err.Error())
+		return nil, err
 	}
 	masterHeap := libc.New(k, masterPID)
 	s := &Server{
@@ -138,22 +156,33 @@ func Start(k *kernel.Kernel, cfg Config) (*Server, error) {
 		masterHeap: masterHeap,
 		conns:      make(map[int]*conn),
 		nonce:      cfg.Seed,
+		status:     status,
 		running:    true,
 	}
 	if cfg.HSM != nil {
 		pub, err := cfg.HSM.PublicKey()
 		if err != nil {
-			return nil, fmt.Errorf("sshd: hsm: %w", err)
+			return nil, s.refuse(fmt.Errorf("sshd: hsm: %w", err))
 		}
 		s.hsmKey = keyBackend{op: cfg.HSM.PrivateOp, pub: pub}
 		return s, nil
 	}
 	masterRSA, err := loadHostKey(k, masterHeap, cfg)
 	if err != nil {
-		return nil, err
+		return nil, s.refuse(err)
 	}
 	s.masterRSA = masterRSA
 	return s, nil
+}
+
+// refuse implements scrub-and-refuse for Start failures: the partially
+// built key state has already been cleansed by the ssl layer's own
+// fail-closed paths, so what remains is tearing down the master process
+// and recording the refusal. Any teardown error is joined onto the cause.
+func (s *Server) refuse(cause error) error {
+	s.status.Refuse(cause.Error())
+	s.running = false
+	return errors.Join(cause, s.k.Exit(s.masterPID))
 }
 
 // loadHostKey performs the key_load_private_pem path for one process:
@@ -188,6 +217,9 @@ func loadHostKey(k *kernel.Kernel, heap *libc.Heap, cfg Config) (*ssl.RSA, error
 // MasterPID returns the master process's PID.
 func (s *Server) MasterPID() int { return s.masterPID }
 
+// Status returns the run's fail-closed protection record.
+func (s *Server) Status() *protect.Status { return s.status }
+
 // Stats returns a snapshot of the activity counters.
 func (s *Server) Stats() Stats { return s.stats }
 
@@ -205,6 +237,21 @@ func (s *Server) Connect() (int, error) {
 		return 0, ErrNotRunning
 	}
 	c := &conn{id: s.nextConn + 1}
+	// childRSA is the re-exec child's own reloaded key, if any — the one
+	// piece of connection state that must be scrubbed (not merely
+	// abandoned) when a later step fails.
+	var childRSA *ssl.RSA
+	// abort rolls back a partially built connection: scrub the child's own
+	// key copies, then exit the child, so no spawned process outlives a
+	// failed Connect holding key material. Rollback errors join the cause.
+	abort := func(cause error) (int, error) {
+		errs := []error{cause}
+		if childRSA != nil {
+			errs = append(errs, childRSA.Free(true))
+		}
+		errs = append(errs, s.k.Exit(c.pid))
+		return 0, errors.Join(errs...)
+	}
 	switch {
 	case s.cfg.HSM != nil:
 		// Hardware-backed key: the child needs no key material at all.
@@ -236,22 +283,25 @@ func (s *Server) Connect() (int, error) {
 		c.heap = libc.New(s.k, pid)
 		rsa, err := loadHostKey(s.k, c.heap, s.cfg)
 		if err != nil {
-			return 0, err
+			// loadHostKey's own fail-closed paths scrubbed the partial
+			// key; the child process itself still has to go.
+			return abort(err)
 		}
+		childRSA = rsa
 		c.key = softwareBackend(rsa)
 	}
 	if err := s.handshake(c); err != nil {
-		return 0, err
+		return abort(err)
 	}
 	// Session state (kex buffers, channel windows).
 	sess, err := c.heap.Malloc(s.cfg.SessionBufferBytes)
 	if err != nil {
-		return 0, fmt.Errorf("sshd: connect: %w", err)
+		return abort(fmt.Errorf("sshd: connect: %w", err))
 	}
 	junk := make([]byte, s.cfg.SessionBufferBytes)
 	stats.NewRand(s.nonce).Read(junk)
 	if err := c.heap.Write(sess, junk); err != nil {
-		return 0, err
+		return abort(err)
 	}
 	s.nextConn++
 	s.conns[c.id] = c
@@ -320,7 +370,10 @@ func (s *Server) Transfer(connID, n int) error {
 }
 
 // Disconnect closes a connection: the child exits and its pages — including
-// any per-connection key copies — return to the kernel.
+// any per-connection key copies — return to the kernel. If the exit cannot
+// complete (pages stranded mid-teardown), the copy-minimization guarantee
+// is conservatively degraded: stranded allocated pages may hold key-derived
+// state the level promised would not accumulate.
 func (s *Server) Disconnect(connID int) error {
 	c, ok := s.conns[connID]
 	if !ok {
@@ -328,7 +381,12 @@ func (s *Server) Disconnect(connID int) error {
 	}
 	delete(s.conns, connID)
 	s.stats.Disconnects++
-	return s.k.Exit(c.pid)
+	if err := s.k.Exit(c.pid); err != nil {
+		s.status.Degrade(protect.GuaranteeCopyMinimized,
+			fmt.Sprintf("connection %d teardown incomplete: %v", connID, err))
+		return err
+	}
+	return nil
 }
 
 // Stop shuts the server down: all connections close, then the master exits,
@@ -343,11 +401,20 @@ func (s *Server) Stop() error {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	var errs []error
 	for _, id := range ids {
 		if err := s.Disconnect(id); err != nil {
-			return err
+			// Best effort: a stuck child must not keep every other
+			// child (and the master's key) alive. Disconnect already
+			// degraded the status.
+			errs = append(errs, err)
 		}
 	}
 	s.running = false
-	return s.k.Exit(s.masterPID)
+	if err := s.k.Exit(s.masterPID); err != nil {
+		s.status.Degrade(protect.GuaranteeCopyMinimized,
+			fmt.Sprintf("master teardown incomplete: %v", err))
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }

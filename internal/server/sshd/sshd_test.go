@@ -6,6 +6,7 @@ import (
 
 	"memshield/internal/crypto/rsakey"
 	"memshield/internal/kernel"
+	"memshield/internal/kernel/alloc"
 	"memshield/internal/protect"
 	"memshield/internal/scan"
 	"memshield/internal/stats"
@@ -273,5 +274,72 @@ func TestHandshakeComputesRealRSA(t *testing.T) {
 	}
 	if s.Stats().Handshakes != 1 {
 		t.Fatal("handshake not counted")
+	}
+}
+
+// TestConnectOutOfMemoryFailsClosed: on a tiny machine, a new connection
+// that cannot be built refuses with an error chain naming
+// alloc.ErrOutOfMemory — no panic — and the partially built connection
+// state leaks no key copies: the allocated d/p/q census after the failed
+// attempt is exactly what it was before, and the server keeps serving.
+func TestConnectOutOfMemoryFailsClosed(t *testing.T) {
+	k, err := kernel.New(kernel.Config{
+		MemPages:      512,
+		DeallocPolicy: protect.LevelLibrary.KernelPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := rsakey.Generate(stats.NewReader(2024), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.FS().WriteFile(keyPath, key.MarshalPEM()); err != nil {
+		t.Fatal(err)
+	}
+	sc := scan.New(k, scan.PatternsFor(key))
+	s, err := Start(k, Config{KeyPath: keyPath, Level: protect.LevelLibrary, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	census := func() map[scan.Part]int {
+		counts := make(map[scan.Part]int)
+		for _, m := range sc.Scan() {
+			if m.Allocated {
+				counts[m.Part]++
+			}
+		}
+		return counts
+	}
+	var oomErr error
+	var before map[scan.Part]int
+	for i := 0; i < 256; i++ {
+		before = census()
+		if _, err := s.Connect(); err != nil {
+			oomErr = err
+			break
+		}
+	}
+	if oomErr == nil {
+		t.Fatal("512-page machine never exhausted; shrink the config")
+	}
+	if !errors.Is(oomErr, alloc.ErrOutOfMemory) {
+		t.Fatalf("connect at exhaustion = %v, want chain naming alloc.ErrOutOfMemory", oomErr)
+	}
+	after := census()
+	for _, part := range []scan.Part{scan.PartD, scan.PartP, scan.PartQ} {
+		if after[part] != before[part] {
+			t.Fatalf("allocated %v copies %d -> %d across failed connect; partial state leaked",
+				part, before[part], after[part])
+		}
+	}
+	if !s.Running() {
+		t.Fatal("failed connect must not kill the server")
+	}
+	if err := k.Alloc().CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.VM().CheckConsistency(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"memshield/internal/crypto/rsakey"
+	"memshield/internal/fault"
 	"memshield/internal/kernel"
 	"memshield/internal/protect"
 	"memshield/internal/scan"
@@ -102,6 +103,10 @@ type Config struct {
 	// TransferBytes per transfer (default 102 KiB, the paper's average
 	// benchmark file size).
 	TransferBytes int
+	// FaultPlan, when set, arms deterministic fault injection across the
+	// machine's syscall surface for this run (see internal/fault). Nil —
+	// the default — leaves every golden timeline byte-identical.
+	FaultPlan *fault.Plan
 }
 
 func (c *Config) applyDefaults() {
@@ -182,6 +187,7 @@ func Run(cfg Config) (*Result, error) {
 	k, err := kernel.New(kernel.Config{
 		MemPages:      cfg.MemPages,
 		DeallocPolicy: cfg.Level.KernelPolicy(),
+		FaultPlan:     cfg.FaultPlan,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)

@@ -73,7 +73,7 @@ func newBigNum(h *libc.Heap, value []byte) (*BigNum, error) {
 		return nil, err
 	}
 	if err := h.Write(ptr, value); err != nil {
-		return nil, err
+		return nil, errors.Join(err, h.FreeZero(ptr))
 	}
 	return &BigNum{heap: h, ptr: ptr, size: len(value)}, nil
 }
@@ -142,6 +142,11 @@ func WithAutoAlign() LoadOption {
 // are cleansed before release, matching OpenSSL's OPENSSL_cleanse hygiene in
 // the PEM layer; the BIGNUMs themselves are the durable copies the paper
 // tracks.
+//
+// The load is fail-closed: on any error — a malloc that fails mid-way, a
+// refused mlock under WithAutoAlign — every buffer built so far (PEM text,
+// DER bytes, finished BIGNUMs) is cleansed before the error returns, so a
+// failed load never strands scannable key material on the heap.
 func D2iPrivateKey(h *libc.Heap, pemData []byte, opts ...LoadOption) (*RSA, error) {
 	var cfg loadConfig
 	for _, o := range opts {
@@ -153,7 +158,7 @@ func D2iPrivateKey(h *libc.Heap, pemData []byte, opts ...LoadOption) (*RSA, erro
 		return nil, fmt.Errorf("ssl: d2i: %w", err)
 	}
 	if err := h.Write(pemBuf, pemData); err != nil {
-		return nil, err
+		return nil, errors.Join(fmt.Errorf("ssl: d2i: %w", err), h.FreeZero(pemBuf))
 	}
 	key, err := rsakey.ParsePEM(pemData)
 	if err != nil {
@@ -168,7 +173,8 @@ func D2iPrivateKey(h *libc.Heap, pemData []byte, opts ...LoadOption) (*RSA, erro
 		return nil, errors.Join(fmt.Errorf("ssl: d2i: %w", err), h.FreeZero(pemBuf))
 	}
 	if err := h.Write(derBuf, der); err != nil {
-		return nil, err
+		return nil, errors.Join(fmt.Errorf("ssl: d2i: %w", err),
+			h.FreeZero(derBuf), h.FreeZero(pemBuf))
 	}
 	r := &RSA{
 		heap:  h,
@@ -182,23 +188,36 @@ func D2iPrivateKey(h *libc.Heap, pemData []byte, opts ...LoadOption) (*RSA, erro
 		{&r.d, key.D}, {&r.p, key.P}, {&r.q, key.Q},
 		{&r.dp, key.Dp}, {&r.dq, key.Dq}, {&r.qinv, key.Qinv},
 	}
-	for _, part := range parts {
+	for i, part := range parts {
 		bn, err := newBigNum(h, part.val.Bytes())
 		if err != nil {
-			return nil, fmt.Errorf("ssl: d2i: %w", err)
+			errs := []error{fmt.Errorf("ssl: d2i: %w", err)}
+			for _, built := range parts[:i] {
+				errs = append(errs, h.FreeZero((*built.dst).ptr))
+			}
+			errs = append(errs, h.FreeZero(derBuf), h.FreeZero(pemBuf))
+			return nil, errors.Join(errs...)
 		}
 		*part.dst = bn
 	}
 	// PEM-layer hygiene: cleanse the transient buffers.
 	if err := h.FreeZero(derBuf); err != nil {
-		return nil, err
+		return nil, errors.Join(fmt.Errorf("ssl: d2i: %w", err),
+			r.Free(true), h.FreeZero(pemBuf))
 	}
 	if err := h.FreeZero(pemBuf); err != nil {
-		return nil, err
+		return nil, errors.Join(fmt.Errorf("ssl: d2i: %w", err), r.Free(true))
 	}
 	if cfg.autoAlign {
 		if err := r.MemoryAlign(); err != nil {
-			return nil, err
+			// MemoryAlign scrubs on its own mid-move failures (r.freed is
+			// then already set); a refusal before any move leaves the
+			// unaligned parts intact — cleanse them here.
+			errs := []error{err}
+			if !r.freed {
+				errs = append(errs, r.Free(true))
+			}
+			return nil, errors.Join(errs...)
 		}
 	}
 	return r, nil
@@ -242,6 +261,15 @@ func (r *RSA) HasMontCache() bool { return r.montP != 0 }
 // Afterwards the key occupies exactly one mlock'd page region that no code
 // path ever writes, so COW keeps it single-copy across forks and it can
 // never reach swap.
+//
+// MemoryAlign fails closed. A refusal before any part moves (posix_memalign
+// fails, or mlock is denied — the region is then freed, never left behind
+// as an unlocked mapping pretending to be protection) leaves the key's
+// unaligned layout untouched. A failure after parts have started moving
+// cannot be rolled back (their old buffers are already cleansed), so the
+// object scrubs everything — aligned region, unmoved parts, Montgomery
+// cache — and marks itself freed: better no key than a key whose
+// protection claim is false.
 func (r *RSA) MemoryAlign() error {
 	if r.freed {
 		return ErrFreed
@@ -262,32 +290,61 @@ func (r *RSA) MemoryAlign() error {
 		return fmt.Errorf("ssl: memory align: %w", err)
 	}
 	if err := r.heap.Mlock(base); err != nil {
-		return fmt.Errorf("ssl: memory align: %w", err)
+		return errors.Join(fmt.Errorf("ssl: memory align: %w", err), r.heap.Free(base))
 	}
 	off := vm.VAddr(0)
-	for _, bn := range r.Parts() {
-		val, err := bn.Bytes()
-		if err != nil {
-			return err
+	for i, bn := range r.Parts() {
+		if err := r.movePart(bn, base+off); err != nil {
+			return errors.Join(fmt.Errorf("ssl: memory align: %w", err), r.scrapAlign(base, i))
 		}
-		if err := r.heap.Write(base+off, val); err != nil {
-			return err
-		}
-		if err := r.heap.FreeZero(bn.ptr); err != nil {
-			return err
-		}
-		bn.ptr = base + off
-		bn.static = true
 		off += vm.VAddr(bn.size)
 	}
 	if err := r.dropMontCache(); err != nil {
-		return err
+		return errors.Join(fmt.Errorf("ssl: memory align: %w", err), r.scrapAlign(base, len(r.Parts())))
 	}
 	r.aligned = base
 	r.alignedPages = pages
 	r.flags &^= FlagCachePrivate | FlagCachePublic
 	r.flags |= FlagStaticData
 	return nil
+}
+
+// movePart copies one BIGNUM into the aligned region at dst and cleanses
+// its old buffer. The BIGNUM's pointer is rebound only after every step
+// succeeded, so a failed move leaves the part owning its old buffer.
+func (r *RSA) movePart(bn *BigNum, dst vm.VAddr) error {
+	val, err := bn.Bytes()
+	if err != nil {
+		return err
+	}
+	if err := r.heap.Write(dst, val); err != nil {
+		return err
+	}
+	if err := r.heap.FreeZero(bn.ptr); err != nil {
+		return err
+	}
+	bn.ptr = dst
+	bn.static = true
+	return nil
+}
+
+// scrapAlign is MemoryAlign's scrub-and-refuse path after movedParts parts
+// have been rebound into the region at base: it destroys the region (which
+// already holds key bytes), cleanses the not-yet-moved parts' old buffers,
+// drops any Montgomery cache, and marks the object freed. All steps are
+// attempted; failures are joined.
+func (r *RSA) scrapAlign(base vm.VAddr, movedParts int) error {
+	var errs []error
+	if n, err := r.heap.SizeOf(base); err == nil {
+		errs = append(errs, r.heap.Zero(base, n))
+	}
+	errs = append(errs, r.heap.Free(base))
+	for _, bn := range r.Parts()[movedParts:] {
+		errs = append(errs, r.heap.FreeZero(bn.ptr))
+	}
+	errs = append(errs, r.dropMontCache())
+	r.freed = true
+	return errors.Join(errs...)
 }
 
 // dropMontCache scrubs and frees the Montgomery cache buffers if present.
