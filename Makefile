@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-self test-faults fuzz figures figures-smoke
+.PHONY: all build test race lint lint-self test-faults bench-smoke fuzz figures figures-smoke
 
 all: build lint test
 
@@ -37,6 +37,13 @@ lint-self:
 # this on each PR.
 test-faults:
 	$(GO) test -race -run 'TestFaultMatrix|TestNoFalseSecurity' -v .
+
+# One iteration of the scanning-engine and keyfinder benchmarks under the
+# race detector: exercises the sharded scan, the incremental rescan and the
+# chunked factor scan concurrency without any timing sensitivity, so it
+# catches concurrency bit-rot in CI (DESIGN.md §9). CI runs this on each PR.
+bench-smoke:
+	$(GO) test -race -run TestNothing -bench 'BenchmarkMemoryScan|BenchmarkKeyfinderFactorScan' -benchtime=1x .
 
 # Short fuzz smoke over every fuzz target (30s each).
 fuzz:

@@ -44,6 +44,7 @@ func run(args []string, out io.Writer) error {
 		memMB   = fs.Int("mem-mb", 32, "simulated physical memory in MiB")
 		seed    = fs.Int64("seed", 2007, "seed")
 		doTrace = fs.Bool("trace", false, "record kernel events and explain each unallocated copy")
+		workers = fs.Int("scan-workers", 0, "scan shard fan-out (0 = one per CPU; output is identical at any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +59,7 @@ func run(args []string, out io.Writer) error {
 	}
 	m, err := memshield.NewMachine(memshield.MachineConfig{
 		MemoryMB: *memMB, Protection: lvl, Seed: *seed, TraceEvents: traceCap,
+		ScanWorkers: *workers,
 	})
 	if err != nil {
 		return err

@@ -29,11 +29,12 @@ func Timeline(cfg Config, kind ServerKind, level protect.Level) (*TimelineFigure
 		memPages = 8192
 	}
 	res, err := sim.Run(sim.Config{
-		Kind:     kind,
-		Level:    level,
-		MemPages: memPages,
-		KeyBits:  cfg.KeyBits,
-		Seed:     cfg.Seed,
+		Kind:        kind,
+		Level:       level,
+		MemPages:    memPages,
+		KeyBits:     cfg.KeyBits,
+		Seed:        cfg.Seed,
+		ScanWorkers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -24,8 +24,10 @@ package keyfinder
 import (
 	"bytes"
 	"math/big"
+	"sync"
 
 	"memshield/internal/crypto/rsakey"
+	"memshield/internal/runner"
 )
 
 // pemHeader is the armor the PEM scan anchors on.
@@ -93,6 +95,10 @@ type Options struct {
 	// MaxHits stops the search early once this many keys are recovered
 	// (0 = unlimited).
 	MaxHits int
+	// Workers is the fan-out for the factor scan (0 = one per CPU). The
+	// result is byte-identical at any value: chunks of candidate windows
+	// commit in image order with per-worker big.Int scratch (DESIGN.md §7).
+	Workers int
 }
 
 // Search scans a memory image for private keys matching pub.
@@ -138,9 +144,13 @@ func searchPEM(image []byte, pub rsakey.PublicKey, res *Result, done func() bool
 
 // searchDER recovers keys from raw PKCS#1 DER. A plausible start is a
 // SEQUENCE with a long-form two-byte length (0x30 0x82 for the key sizes in
-// play) or short/one-byte forms for small keys.
+// play) or short/one-byte forms for small keys. The loop bound only
+// requires the two-byte SEQUENCE header; each length form guards its own
+// extra header bytes, so a short-form candidate flush against the end of
+// the image is still considered (it used to be skipped by a fixed
+// off+4 < len bound).
 func searchDER(image []byte, pub rsakey.PublicKey, res *Result, done func() bool) {
-	for off := 0; off+4 < len(image) && !done(); off++ {
+	for off := 0; off+2 <= len(image) && !done(); off++ {
 		if image[off] != 0x30 {
 			continue
 		}
@@ -150,8 +160,14 @@ func searchDER(image []byte, pub rsakey.PublicKey, res *Result, done func() bool
 		case b < 0x80:
 			total = 2 + int(b)
 		case b == 0x81:
+			if off+3 > len(image) {
+				continue
+			}
 			total = 3 + int(image[off+2])
 		case b == 0x82:
+			if off+4 > len(image) {
+				continue
+			}
 			total = 4 + int(image[off+2])<<8 + int(image[off+3])
 		default:
 			continue
@@ -166,35 +182,130 @@ func searchDER(image []byte, pub rsakey.PublicKey, res *Result, done func() bool
 	}
 }
 
+// chunkCands is how many candidate windows one factor-scan chunk covers.
+// Small enough for load balancing across workers, large enough that the
+// per-chunk big.Int scratch allocation is noise.
+const chunkCands = 4096
+
 // searchFactors recovers keys by trial division of N with every window.
+//
+// The candidate offsets (0, stride, 2*stride, ...) are split into chunks
+// that run across a worker pool; each chunk owns its own big.Int scratch
+// and reports its hits in ascending-offset order. Chunks commit in image
+// order, so the hit list — and, under MaxHits, the early-stop point — is
+// byte-identical at any worker count. Early stopping is decided on the
+// contiguous completed prefix of chunks (never on out-of-order results),
+// which makes the cutoff chunk a pure function of the image. The one
+// intentional semantic change versus the old serial loop: under MaxHits,
+// Tested counts whole chunks up to the cutoff rather than stopping at the
+// exact candidate.
 func searchFactors(image []byte, pub rsakey.PublicKey, res *Result, opts Options, done func() bool) {
 	nBytes := (pub.N.BitLen() + 7) / 8
 	window := nBytes / 2
 	if window == 0 || len(image) < window {
 		return
 	}
-	candidate := new(big.Int)
-	mod := new(big.Int)
-	for off := 0; off+window <= len(image) && !done(); off += opts.FactorStride {
-		// Our prime generator forces the top two bits set, so the leading
-		// byte of a factor is >= 0xC0 — a 4x prefilter that mirrors the
-		// real tools' entropy filters. The low bit must be set (odd).
-		if image[off] < 0xC0 || image[off+window-1]&1 == 0 {
-			continue
+	stride := opts.FactorStride
+	numCands := (len(image)-window)/stride + 1
+	numChunks := (numCands + chunkCands - 1) / chunkCands
+
+	// Hits still needed from the factor scan, after PEM/DER recoveries.
+	remaining := 0
+	if opts.MaxHits > 0 {
+		remaining = opts.MaxHits - len(res.Hits)
+		if remaining <= 0 {
+			return
 		}
-		res.Tested++
-		candidate.SetBytes(image[off : off+window])
-		if candidate.BitLen() != pub.N.BitLen()/2 {
-			continue
+	}
+
+	type chunk struct {
+		tested int
+		hits   []Hit
+	}
+	cell := func(ci int) (chunk, error) {
+		var c chunk
+		candidate := new(big.Int)
+		mod := new(big.Int)
+		lo := ci * chunkCands
+		hi := lo + chunkCands
+		if hi > numCands {
+			hi = numCands
 		}
-		if mod.Mod(pub.N, candidate).Sign() != 0 {
-			continue
+		for cand := lo; cand < hi; cand++ {
+			off := cand * stride
+			// Our prime generator forces the top two bits set, so the
+			// leading byte of a factor is >= 0xC0 — a 4x prefilter that
+			// mirrors the real tools' entropy filters. The low bit must be
+			// set (odd).
+			if image[off] < 0xC0 || image[off+window-1]&1 == 0 {
+				continue
+			}
+			c.tested++
+			candidate.SetBytes(image[off : off+window])
+			if candidate.BitLen() != pub.N.BitLen()/2 {
+				continue
+			}
+			if mod.Mod(pub.N, candidate).Sign() != 0 {
+				continue
+			}
+			key, err := reconstructFromFactor(pub, candidate)
+			if err != nil {
+				continue
+			}
+			c.hits = append(c.hits, Hit{Offset: off, Method: MethodFactor, Key: key})
 		}
-		key, err := reconstructFromFactor(pub, candidate)
-		if err != nil {
-			continue
+		return c, nil
+	}
+
+	// stop tracks the contiguous prefix of completed chunks and fires once
+	// that prefix holds enough hits. Everything at or below the stopping
+	// chunk is guaranteed to have run (runner.MapUntil claims ascending),
+	// so the in-order commit below never reads an unrun chunk before the
+	// cutoff.
+	var (
+		mu         sync.Mutex
+		doneChunk  []bool
+		hitCount   []int
+		watermark  int
+		prefixHits int
+	)
+	stop := func(i int, c chunk) bool {
+		if remaining == 0 {
+			return false
 		}
-		res.Hits = append(res.Hits, Hit{Offset: off, Method: MethodFactor, Key: key})
+		mu.Lock()
+		defer mu.Unlock()
+		if doneChunk == nil {
+			doneChunk = make([]bool, numChunks)
+			hitCount = make([]int, numChunks)
+		}
+		doneChunk[i] = true
+		hitCount[i] = len(c.hits)
+		for watermark < numChunks && doneChunk[watermark] {
+			prefixHits += hitCount[watermark]
+			watermark++
+			if prefixHits >= remaining {
+				return true
+			}
+		}
+		return false
+	}
+
+	chunks, ran, err := runner.MapUntil(opts.Workers, numChunks, cell, stop)
+	if err != nil {
+		return // cells never error; kept for the runner contract
+	}
+	for ci := 0; ci < numChunks && !done(); ci++ {
+		if !ran[ci] {
+			return
+		}
+		res.Tested += chunks[ci].tested
+		for _, h := range chunks[ci].hits {
+			res.Hits = append(res.Hits, h)
+			if done() {
+				return
+			}
+		}
 	}
 }
 

@@ -186,3 +186,95 @@ func TestIntegratedSolutionStillFactorsUnderFullDump(t *testing.T) {
 		t.Fatalf("method = %v, want factor (no PEM/DER left in memory)", res.Hits[0].Method)
 	}
 }
+
+func TestRecoverDERFlushAgainstImageEnd(t *testing.T) {
+	// Regression: the DER scan used to require off+4 < len(image), which
+	// skipped candidates whose header sat in the last bytes of a capture.
+	// A short-form DER key flush against the image end must be recovered.
+	key := testKey(t)
+	der := key.MarshalDER()
+	image := append(make([]byte, 57), der...) // nothing after the key
+	res := Search(image, key.PublicKey, Options{SkipFactorScan: true})
+	verifyHit(t, res, key)
+	if res.Hits[0].Method != MethodDER || res.Hits[0].Offset != 57 {
+		t.Fatalf("hit = %+v, want DER at 57", res.Hits[0])
+	}
+}
+
+func TestDERHeaderTruncatedAtImageEnd(t *testing.T) {
+	// Long-form headers cut off by the end of the image must be skipped
+	// without reading out of bounds, at every truncation point.
+	key := testKey(t)
+	for cut := 1; cut <= 4; cut++ {
+		image := append(make([]byte, 8), []byte{0x30, 0x82, 0x01, 0x26}[:cut]...)
+		res := Search(image, key.PublicKey, Options{SkipFactorScan: true})
+		if res.Success() {
+			t.Fatalf("cut=%d: recovered a key from a truncated header", cut)
+		}
+	}
+}
+
+func TestFactorScanWorkerCountInvariance(t *testing.T) {
+	// The chunked parallel factor scan must return byte-identical results
+	// at any worker count — including Tested, whose chunk-granular value
+	// is part of the deterministic contract.
+	key := testKey(t)
+	image := make([]byte, 64*1024)
+	stats.NewRand(9).Read(image)
+	// Plant p twice and q once so MaxHits interacts with ordering.
+	copy(image[3000:], key.P.Bytes())
+	copy(image[40000:], key.Q.Bytes())
+	copy(image[60000:], key.P.Bytes())
+
+	for _, opts := range []Options{
+		{},           // unlimited
+		{MaxHits: 1}, // early stop
+		{MaxHits: 2},
+	} {
+		var ref Result
+		for _, w := range []int{1, 2, 4, 7} {
+			o := opts
+			o.Workers = w
+			got := Search(image, key.PublicKey, o)
+			if w == 1 {
+				ref = got
+				wantHits := 3
+				if opts.MaxHits > 0 {
+					wantHits = opts.MaxHits
+				}
+				if len(got.Hits) != wantHits {
+					t.Fatalf("maxhits=%d w=1: hits = %d, want %d", opts.MaxHits, len(got.Hits), wantHits)
+				}
+				continue
+			}
+			if len(got.Hits) != len(ref.Hits) || got.Tested != ref.Tested {
+				t.Fatalf("maxhits=%d w=%d: (hits=%d tested=%d) != w=1 (hits=%d tested=%d)",
+					opts.MaxHits, w, len(got.Hits), got.Tested, len(ref.Hits), ref.Tested)
+			}
+			for i := range got.Hits {
+				if got.Hits[i].Offset != ref.Hits[i].Offset || got.Hits[i].Method != ref.Hits[i].Method {
+					t.Fatalf("maxhits=%d w=%d: hit %d = %+v, want %+v",
+						opts.MaxHits, w, i, got.Hits[i], ref.Hits[i])
+				}
+			}
+		}
+		_ = ref
+	}
+}
+
+func TestFactorScanHitsAreOffsetOrdered(t *testing.T) {
+	key := testKey(t)
+	image := make([]byte, 32*1024)
+	copy(image[20000:], key.P.Bytes())
+	copy(image[100:], key.Q.Bytes())
+	copy(image[9000:], key.P.Bytes())
+	res := Search(image, key.PublicKey, Options{Workers: 4})
+	if len(res.Hits) != 3 {
+		t.Fatalf("hits = %d, want 3", len(res.Hits))
+	}
+	for i := 1; i < len(res.Hits); i++ {
+		if res.Hits[i-1].Offset >= res.Hits[i].Offset {
+			t.Fatalf("hits out of order: %+v", res.Hits)
+		}
+	}
+}

@@ -101,15 +101,28 @@ type Frame struct {
 	RefCount int
 	// Locked marks mlock'd frames which must never be swapped out.
 	Locked bool
+	// gen is the frame's write generation: the value of the memory-wide
+	// mutation counter at the last time any byte of the frame changed.
+	// Incremental scanners compare generations to skip untouched frames.
+	gen uint64
 	// mappers is the reverse map: PIDs of processes that have this frame
 	// in their page tables. Sorted, no duplicates.
 	mappers []int
 }
 
+// Gen returns the frame's write generation. Generations are assigned from
+// a single memory-wide monotonic counter, so the maximum generation over
+// any set of frames strictly increases whenever one of them is written.
+func (f *Frame) Gen() uint64 { return f.gen }
+
 // Memory is the simulated physical memory of one machine.
 type Memory struct {
 	data   []byte
 	frames []Frame
+	// muts counts content mutations (Write/Zero/ZeroPage/CopyPage calls
+	// that changed at least zero bytes of some frame). Each touched frame's
+	// gen is stamped with the post-increment value.
+	muts uint64
 }
 
 // New creates a machine with the given number of page frames, all free and
@@ -156,6 +169,26 @@ func (m *Memory) Frame(pn PageNum) *Frame {
 	return &m.frames[pn]
 }
 
+// Mutations returns the memory-wide mutation counter: it increases on
+// every content-changing operation, so an unchanged value between two
+// observations proves no byte of physical memory changed in between.
+// Frame-state changes (alloc/free, mappers, locking) do not count — they
+// alter metadata, not contents.
+func (m *Memory) Mutations() uint64 { return m.muts }
+
+// touch stamps the write generation of every frame overlapping
+// [addr, addr+n). Callers have already validated the range.
+func (m *Memory) touch(addr Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	m.muts++
+	last := (addr + Addr(n) - 1).Page()
+	for pn := addr.Page(); pn <= last; pn++ {
+		m.frames[pn].gen = m.muts
+	}
+}
+
 // Read copies n bytes starting at addr into a fresh slice.
 func (m *Memory) Read(addr Addr, n int) ([]byte, error) {
 	if !m.ValidRange(addr, n) {
@@ -172,6 +205,7 @@ func (m *Memory) Write(addr Addr, b []byte) error {
 		return fmt.Errorf("mem: write [%d,+%d) outside %d-byte memory", addr, len(b), len(m.data))
 	}
 	copy(m.data[addr:], b)
+	m.touch(addr, len(b))
 	return nil
 }
 
@@ -181,6 +215,7 @@ func (m *Memory) Zero(addr Addr, n int) error {
 		return fmt.Errorf("mem: zero [%d,+%d) outside %d-byte memory", addr, n, len(m.data))
 	}
 	clear(m.data[addr : addr+Addr(n)])
+	m.touch(addr, n)
 	return nil
 }
 
@@ -190,6 +225,7 @@ func (m *Memory) ZeroPage(pn PageNum) error {
 		return fmt.Errorf("mem: zero of invalid page %d", pn)
 	}
 	clear(m.data[pn.Base() : pn.Base()+PageSize])
+	m.touch(pn.Base(), PageSize)
 	return nil
 }
 
@@ -199,6 +235,7 @@ func (m *Memory) CopyPage(dst, src PageNum) error {
 		return fmt.Errorf("mem: copy page %d -> %d out of range", src, dst)
 	}
 	copy(m.data[dst.Base():dst.Base()+PageSize], m.data[src.Base():src.Base()+PageSize])
+	m.touch(dst.Base(), PageSize)
 	return nil
 }
 

@@ -375,3 +375,105 @@ func TestQuickFindAllLocatesPlants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWriteGenerations(t *testing.T) {
+	m := mustNew(t, 8)
+	if m.Mutations() != 0 {
+		t.Fatalf("boot mutations = %d, want 0", m.Mutations())
+	}
+	for pn := 0; pn < 8; pn++ {
+		if g := m.Frame(PageNum(pn)).Gen(); g != 0 {
+			t.Fatalf("boot gen of frame %d = %d, want 0", pn, g)
+		}
+	}
+
+	// Write touching frames 1 and 2 stamps both with the same generation.
+	if err := m.Write(PageNum(2).Base()-4, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mutations() != 1 {
+		t.Fatalf("mutations = %d, want 1", m.Mutations())
+	}
+	g1, g2 := m.Frame(1).Gen(), m.Frame(2).Gen()
+	if g1 != 1 || g2 != 1 {
+		t.Fatalf("gens = %d,%d, want 1,1", g1, g2)
+	}
+	if g := m.Frame(0).Gen(); g != 0 {
+		t.Fatalf("untouched frame gen = %d, want 0", g)
+	}
+
+	// Each mutation kind bumps the counter and stamps only its frames.
+	if err := m.Zero(PageNum(3).Base(), 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ZeroPage(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CopyPage(5, 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mutations() != 4 {
+		t.Fatalf("mutations = %d, want 4", m.Mutations())
+	}
+	for pn, want := range map[PageNum]uint64{3: 2, 4: 3, 5: 4} {
+		if g := m.Frame(pn).Gen(); g != want {
+			t.Fatalf("frame %d gen = %d, want %d", pn, g, want)
+		}
+	}
+	// CopyPage stamps the destination, not the source (src bytes did not
+	// change).
+	if g := m.Frame(3).Gen(); g != 2 {
+		t.Fatalf("copy source gen = %d, want 2 (unchanged)", g)
+	}
+
+	// Reads and views are not mutations.
+	if _, err := m.Read(0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.View(0, m.Size()); err != nil {
+		t.Fatal(err)
+	}
+	m.PageIsZero(0)
+	if m.Mutations() != 4 {
+		t.Fatalf("mutations after reads = %d, want 4", m.Mutations())
+	}
+
+	// Zero-length writes are no-ops for generations too.
+	if err := m.Write(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Zero(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mutations() != 4 {
+		t.Fatalf("mutations after empty ops = %d, want 4", m.Mutations())
+	}
+}
+
+func TestGenerationWindowMaxStrictlyIncreases(t *testing.T) {
+	// The incremental scanner's invariant: because gens come from one
+	// monotonic counter, any write inside a frame window strictly
+	// increases the window's maximum generation — even a write to a frame
+	// that previously held a smaller gen than its neighbours.
+	m := mustNew(t, 4)
+	windowMax := func() uint64 {
+		var mx uint64
+		for pn := PageNum(0); pn < 4; pn++ {
+			if g := m.Frame(pn).Gen(); g > mx {
+				mx = g
+			}
+		}
+		return mx
+	}
+	prev := windowMax()
+	for _, pn := range []PageNum{3, 0, 2, 0, 1, 3, 0} {
+		if err := m.Write(pn.Base(), []byte{0xAB}); err != nil {
+			t.Fatal(err)
+		}
+		if now := windowMax(); now <= prev {
+			t.Fatalf("write to frame %d: window max %d -> %d, want strict increase", pn, prev, now)
+		} else {
+			prev = now
+		}
+	}
+}

@@ -101,6 +101,89 @@ func Map[T any](workers, n int, cell func(i int) (T, error)) ([]T, error) {
 	return out, nil
 }
 
+// MapUntil is Map with deterministic early stopping: after a cell i for
+// which stop(i, result) returns true has completed, workers claim no cell
+// with a higher index. Cells are claimed in ascending order, so every cell
+// with an index at or below the lowest stopping cell is guaranteed to run;
+// cells above it may or may not run depending on scheduling. The returned
+// ran slice marks which cells actually produced a result.
+//
+// Callers recover determinism by committing in cell order and cutting off
+// at the first stopping cell they encounter — everything at or below it is
+// always present, and everything above it is discarded (the keyfinder's
+// MaxHits factor scan is the canonical user). Errors follow Map's rule:
+// lowest-indexed recorded failure wins.
+func MapUntil[T any](workers, n int, cell func(i int) (T, error), stop func(i int, v T) bool) (out []T, ran []bool, err error) {
+	if n <= 0 {
+		return nil, nil, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	out = make([]T, n)
+	ran = make([]bool, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := cell(i)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[i] = v
+			ran[i] = true
+			if stop(i, v) {
+				break
+			}
+		}
+		return out, ran, nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		stopped atomic.Int64 // lowest stopping index seen + 1, 0 = none
+		errs    = make([]error, n)
+		wg      sync.WaitGroup
+	)
+	stopped.Store(int64(n) + 1)
+	for range w {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n || int64(i) >= stopped.Load() {
+					return
+				}
+				v, err := cell(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+				ran[i] = true
+				if stop(i, v) {
+					// Record the lowest stopping index (CAS loop: another
+					// worker may have stopped at a lower cell concurrently).
+					for {
+						cur := stopped.Load()
+						if int64(i) >= cur || stopped.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, ran, nil
+}
+
 // Each is Map for cells that produce no value (side effects into
 // caller-owned, per-cell slots).
 func Each(workers, n int, cell func(i int) error) error {

@@ -167,3 +167,100 @@ func TestEach(t *testing.T) {
 		t.Fatalf("Each error = %v", err)
 	}
 }
+
+func TestMapUntilEmpty(t *testing.T) {
+	out, ran, err := MapUntil(4, 0,
+		func(i int) (int, error) { return i, nil },
+		func(int, int) bool { return false })
+	if err != nil || out != nil || ran != nil {
+		t.Fatalf("MapUntil(0 cells) = %v,%v,%v, want nils", out, ran, err)
+	}
+}
+
+func TestMapUntilNoStopRunsEverything(t *testing.T) {
+	for _, w := range []int{1, 2, 4} {
+		out, ran, err := MapUntil(w, 20,
+			func(i int) (int, error) { return i * i, nil },
+			func(int, int) bool { return false })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			if !ran[i] || out[i] != i*i {
+				t.Fatalf("w=%d: cell %d ran=%v out=%d", w, i, ran[i], out[i])
+			}
+		}
+	}
+}
+
+func TestMapUntilPrefixGuarantee(t *testing.T) {
+	// Stop at cell 7: every cell <= 7 must have run, at any worker count.
+	for _, w := range []int{1, 2, 4, runtime.NumCPU()} {
+		out, ran, err := MapUntil(w, 100,
+			func(i int) (int, error) { return i, nil },
+			func(i int, _ int) bool { return i == 7 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i <= 7; i++ {
+			if !ran[i] || out[i] != i {
+				t.Fatalf("w=%d: cell %d below stop point did not run", w, i)
+			}
+		}
+		// With one worker the sequential path stops exactly at the stop
+		// cell — the reference any pool schedule must stay a superset of.
+		if w == 1 {
+			for i := 8; i < 100; i++ {
+				if ran[i] {
+					t.Fatalf("sequential path ran cell %d past the stop", i)
+				}
+			}
+		}
+	}
+}
+
+func TestMapUntilStopBoundsClaims(t *testing.T) {
+	// After a stop at cell s, no cell beyond s may be NEWLY claimed; with
+	// w workers at most w-1 cells above s were already in flight. We bound
+	// the total overshoot rather than asserting an exact set.
+	const n, s, w = 1000, 3, 4
+	var ranCount atomic.Int64
+	_, ran, err := MapUntil(w, n,
+		func(i int) (int, error) { ranCount.Add(1); return i, nil },
+		func(i int, _ int) bool { return i >= s })
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int(ranCount.Load())
+	if total != countTrue(ran) {
+		t.Fatalf("ran bitmap %d != executed %d", countTrue(ran), total)
+	}
+	if total >= n {
+		t.Fatalf("stop had no effect: all %d cells ran", total)
+	}
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func TestMapUntilErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	_, _, err := MapUntil(4, 50,
+		func(i int) (int, error) {
+			if i == 5 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(int, int) bool { return false })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

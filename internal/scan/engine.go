@@ -1,0 +1,103 @@
+// The single-pass multi-pattern search engine behind every scan in this
+// package (DESIGN.md §9). A compiled dispatch groups patterns by first
+// byte; one traversal of a window then serves all patterns at once,
+// replacing the old one-full-pass-per-pattern loops. Matching is
+// memchr-driven: the engine merges one bytes.IndexByte stream per distinct
+// first byte, so the fast path skims zero-heavy simulated memory at the
+// same speed as the stdlib searcher while emitting every pattern's
+// (possibly overlapping) occurrences in a single ordered stream.
+package scan
+
+import "bytes"
+
+// dispatch is a set of patterns compiled for single-pass search.
+type dispatch struct {
+	// pats holds the non-empty pattern byte strings, in caller order.
+	pats [][]byte
+	// order maps a compiled pattern index back to the caller's index in
+	// the original []Pattern slice (empty patterns are dropped).
+	order []int
+	// firsts lists the distinct first bytes, in first-appearance order.
+	firsts []byte
+	// byFirst maps a first byte to the compiled pattern indices starting
+	// with it, ascending — so same-offset matches emit in pattern order.
+	byFirst [256][]int
+	// maxLen is the longest pattern length (0 when there are none).
+	maxLen int
+}
+
+// compile builds the dispatch table. Empty patterns are skipped (they can
+// never match), duplicates are kept (each caller index reports its own
+// matches, exactly like the per-pattern loops did).
+func compile(patterns []Pattern) *dispatch {
+	d := &dispatch{}
+	for i, p := range patterns {
+		if len(p.Bytes) == 0 {
+			continue
+		}
+		ci := len(d.pats)
+		d.pats = append(d.pats, p.Bytes)
+		d.order = append(d.order, i)
+		fb := p.Bytes[0]
+		if len(d.byFirst[fb]) == 0 {
+			d.firsts = append(d.firsts, fb)
+		}
+		d.byFirst[fb] = append(d.byFirst[fb], ci)
+		if len(p.Bytes) > d.maxLen {
+			d.maxLen = len(p.Bytes)
+		}
+	}
+	return d
+}
+
+// scan emits every pattern occurrence that STARTS in win[:maxStart], in
+// (offset, caller pattern index) order. A match may extend past maxStart
+// as long as it fits inside win — callers pass a window with maxLen-1
+// bytes of overlap past the region they own, which is how shard and frame
+// boundaries stay seamless. emit returns false to stop the scan early.
+func (d *dispatch) scan(win []byte, maxStart int, emit func(off, pat int) bool) {
+	if maxStart > len(win) {
+		maxStart = len(win)
+	}
+	if maxStart <= 0 || len(d.firsts) == 0 {
+		return
+	}
+	// One memchr stream per distinct first byte; next[i] is the stream's
+	// upcoming candidate offset, -1 once exhausted.
+	var nextBuf [8]int
+	var next []int
+	if len(d.firsts) <= len(nextBuf) {
+		next = nextBuf[:0]
+	}
+	for _, fb := range d.firsts {
+		next = append(next, bytes.IndexByte(win[:maxStart], fb))
+	}
+	for {
+		// Lowest candidate across streams is the next dispatch point.
+		pos, si := -1, -1
+		for i, nx := range next {
+			if nx >= 0 && (pos < 0 || nx < pos) {
+				pos, si = nx, i
+			}
+		}
+		if si < 0 {
+			return
+		}
+		fb := d.firsts[si]
+		for _, ci := range d.byFirst[fb] {
+			p := d.pats[ci]
+			if len(p) <= len(win)-pos && bytes.Equal(win[pos:pos+len(p)], p) {
+				if !emit(pos, d.order[ci]) {
+					return
+				}
+			}
+		}
+		// Advance this stream past pos; overlapping self-matches are kept
+		// because the next candidate may be as close as pos+1.
+		if j := bytes.IndexByte(win[pos+1:maxStart], fb); j >= 0 {
+			next[si] = pos + 1 + j
+		} else {
+			next[si] = -1
+		}
+	}
+}

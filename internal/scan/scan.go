@@ -7,16 +7,22 @@
 // Following Section 2 of the paper, the patterns tracked as
 // disclosure-equivalent "copies of the private key" are d, P, Q, and the
 // PEM-encoded key file; the CRT residues are deliberately not counted.
+//
+// Since PR 5 the search runs on a three-layer engine (DESIGN.md §9): a
+// single-pass multi-pattern dispatch (engine.go), a sharded parallel walk
+// whose output is byte-identical at any worker count, and an incremental
+// per-frame cache driven by the mem package's write generations, so a
+// Scanner carried across timeline ticks re-walks only dirty frames.
 package scan
 
 import (
-	"bytes"
 	"fmt"
 	"sort"
 
 	"memshield/internal/crypto/rsakey"
 	"memshield/internal/kernel"
 	"memshield/internal/mem"
+	"memshield/internal/runner"
 )
 
 // Part identifies which key component a pattern or match refers to.
@@ -78,36 +84,228 @@ type Summary struct {
 	ByPart      map[Part]int
 }
 
+// Stats counts the scanner's incremental-cache behaviour, cumulatively
+// over the Scanner's lifetime. Tests use the deltas between scans to
+// assert that untouched frames are never re-walked.
+type Stats struct {
+	// Scans is the number of Scan calls.
+	Scans int
+	// FramesScanned counts frames whose bytes were actually re-walked.
+	FramesScanned int
+	// FramesCached counts frames served from the per-frame match cache.
+	FramesCached int
+}
+
+// frameMatch is one cached match position: a pattern occurrence starting
+// inside the frame, stored relative to the frame base.
+type frameMatch struct {
+	off int32
+	pat int32 // index into Scanner.patterns
+}
+
+// frameCache is the incremental state for one frame.
+type frameCache struct {
+	// genSum is the sum of the write generations of the frames the scan
+	// window covered ([f, f+span]) when matches was computed. Generations
+	// are stamped from a monotonic memory-wide counter, so any write
+	// inside the window changes the sum.
+	genSum uint64
+	// matches holds the pattern occurrences starting in the frame, in
+	// (offset, pattern index) order.
+	matches []frameMatch
+}
+
 // Scanner scans one machine for one key's patterns.
 type Scanner struct {
 	k        *kernel.Kernel
 	patterns []Pattern
+	eng      *dispatch
+	workers  int
+	// span is how many frames past its own a frame's scan window reaches:
+	// ceil((maxLen-1)/PageSize), so boundary-straddling matches are owned
+	// by the frame they start in.
+	span int
+	// cache is the per-frame incremental state, allocated on first Scan.
+	cache []frameCache
+	// primed is false until the first full walk has populated the cache.
+	primed bool
+	// lastMut is the memory's mutation counter at the end of the last
+	// Scan; an unchanged counter proves every cached frame is still valid.
+	lastMut uint64
+	stats   Stats
+}
+
+// Options tunes a Scanner.
+type Options struct {
+	// Workers is the shard fan-out for the parallel walk. 0 means one per
+	// CPU (runner.Workers); 1 is the sequential reference path. Results
+	// are byte-identical at every value (DESIGN.md §7/§9).
+	Workers int
 }
 
 // New creates a scanner. Patterns are typically PatternsFor(key).
 func New(k *kernel.Kernel, patterns []Pattern) *Scanner {
-	ps := make([]Pattern, len(patterns))
-	copy(ps, patterns)
-	return &Scanner{k: k, patterns: ps}
+	return NewWith(k, patterns, Options{})
 }
 
+// NewWith creates a scanner with explicit options.
+func NewWith(k *kernel.Kernel, patterns []Pattern, opts Options) *Scanner {
+	ps := make([]Pattern, len(patterns))
+	copy(ps, patterns)
+	eng := compile(ps)
+	span := 0
+	if eng.maxLen > 1 {
+		span = (eng.maxLen - 2 + mem.PageSize) / mem.PageSize
+	}
+	return &Scanner{k: k, patterns: ps, eng: eng, workers: opts.Workers, span: span}
+}
+
+// Stats returns the scanner's cumulative incremental-cache counters.
+func (s *Scanner) Stats() Stats { return s.stats }
+
 // Scan performs the linear search and classifies every match.
+//
+// The walk is incremental: only frames whose write generation changed
+// since the previous Scan (on this Scanner) are re-searched; everything
+// else is served from the per-frame match cache. Classification
+// (allocated/unallocated, owner, reverse-mapped PIDs) is always read
+// fresh from the frame metadata, because frame state can change without
+// any byte of the frame being written.
 func (s *Scanner) Scan() []Match {
-	var out []Match
 	m := s.k.Mem()
-	for _, pat := range s.patterns {
-		if len(pat.Bytes) == 0 {
-			continue
+	numFrames := m.NumPages()
+	view, err := m.View(0, m.Size())
+	if err != nil || numFrames == 0 {
+		return nil // View over the full range cannot fail on a valid Memory
+	}
+	if s.cache == nil {
+		s.cache = make([]frameCache, numFrames)
+	}
+	s.stats.Scans++
+
+	if mut := m.Mutations(); !s.primed || mut != s.lastMut {
+		s.rescanDirty(m, view, numFrames)
+		s.primed = true
+		s.lastMut = m.Mutations()
+	} else {
+		s.stats.FramesCached += numFrames
+	}
+	return s.emit(m)
+}
+
+// rescanDirty walks the frames across worker shards, re-searching runs of
+// consecutive dirty frames and keeping cached results for the rest. Shard
+// boundaries never affect output: each frame's matches are a pure function
+// of its own window, and commits go to disjoint per-frame slots.
+func (s *Scanner) rescanDirty(m *mem.Memory, view []byte, numFrames int) {
+	workers := runner.Workers(s.workers)
+	if workers > numFrames {
+		workers = numFrames
+	}
+	perShard := (numFrames + workers - 1) / workers
+	type shardStats struct{ scanned, cached int }
+	// Cells touch disjoint frame ranges of s.cache, so the ordered-commit
+	// contract of runner.Map makes the walk race-free and deterministic.
+	res, err := runner.Map(workers, workers, func(si int) (shardStats, error) {
+		lo := si * perShard
+		hi := lo + perShard
+		if hi > numFrames {
+			hi = numFrames
 		}
-		for _, addr := range m.FindAll(pat.Bytes) {
-			f := m.Frame(addr.Page())
-			out = append(out, Match{
-				Addr:      addr,
-				Part:      pat.Part,
-				Allocated: f.State == mem.FrameAllocated,
-				Owner:     f.Owner,
-				PIDs:      f.Mappers(),
-			})
+		var st shardStats
+		f := lo
+		for f < hi {
+			sum := s.windowGenSum(m, f, numFrames)
+			if s.primed && s.cache[f].genSum == sum {
+				st.cached++
+				f++
+				continue
+			}
+			// Grow a run of consecutive dirty frames and search it as one
+			// window — a cold scan degenerates to one window per shard.
+			run := f + 1
+			sums := []uint64{sum}
+			for run < hi {
+				rs := s.windowGenSum(m, run, numFrames)
+				if s.primed && s.cache[run].genSum == rs {
+					break
+				}
+				sums = append(sums, rs)
+				run++
+			}
+			s.scanRun(view, f, run, numFrames, sums)
+			st.scanned += run - f
+			f = run
+		}
+		return st, nil
+	})
+	if err == nil {
+		for _, st := range res {
+			s.stats.FramesScanned += st.scanned
+			s.stats.FramesCached += st.cached
+		}
+	}
+}
+
+// windowGenSum sums the write generations of the frames a scan window for
+// frame f covers: f itself plus span following frames (clamped).
+func (s *Scanner) windowGenSum(m *mem.Memory, f, numFrames int) uint64 {
+	hi := f + s.span
+	if hi >= numFrames {
+		hi = numFrames - 1
+	}
+	var sum uint64
+	for g := f; g <= hi; g++ {
+		sum += m.Frame(mem.PageNum(g)).Gen()
+	}
+	return sum
+}
+
+// scanRun re-searches frames [lo, hi) in one pass. The window extends
+// maxLen-1 bytes past the run so matches straddling the run's trailing
+// boundary are found; matches are bucketed to the frame they start in.
+func (s *Scanner) scanRun(view []byte, lo, hi, numFrames int, sums []uint64) {
+	base := mem.PageNum(lo).Base()
+	runBytes := (hi - lo) * mem.PageSize
+	end := int(base) + runBytes + s.eng.maxLen - 1
+	if end > len(view) {
+		end = len(view)
+	}
+	for f := lo; f < hi; f++ {
+		s.cache[f].genSum = sums[f-lo]
+		s.cache[f].matches = nil
+	}
+	s.eng.scan(view[base:end], runBytes, func(off, pat int) bool {
+		f := lo + off/mem.PageSize
+		s.cache[f].matches = append(s.cache[f].matches, frameMatch{
+			off: int32(off % mem.PageSize),
+			pat: int32(pat),
+		})
+		return true
+	})
+}
+
+// emit rebuilds the full match list from the per-frame cache in the
+// scanner's canonical order — pattern-major, address-ascending, exactly
+// the order the original one-pass-per-pattern search produced — and
+// classifies every match against the frames' current metadata.
+func (s *Scanner) emit(m *mem.Memory) []Match {
+	var out []Match
+	for pi := range s.patterns {
+		for f := range s.cache {
+			for _, fm := range s.cache[f].matches {
+				if int(fm.pat) != pi {
+					continue
+				}
+				fr := m.Frame(mem.PageNum(f))
+				out = append(out, Match{
+					Addr:      mem.PageNum(f).Base() + mem.Addr(fm.off),
+					Part:      s.patterns[pi].Part,
+					Allocated: fr.State == mem.FrameAllocated,
+					Owner:     fr.Owner,
+					PIDs:      fr.Mappers(),
+				})
+			}
 		}
 	}
 	return out
@@ -129,17 +327,15 @@ func Summarize(matches []Match) Summary {
 }
 
 // CountInBuffer counts pattern occurrences inside an attacker-captured
-// buffer (a USB stick full of mkdir leaks, or a tty memory dump).
+// buffer (a USB stick full of mkdir leaks, or a tty memory dump). All
+// patterns are counted in one pass over the buffer.
 func CountInBuffer(buf []byte, patterns []Pattern) Summary {
 	sum := Summary{ByPart: make(map[Part]int)}
-	for _, pat := range patterns {
-		if len(pat.Bytes) == 0 || len(pat.Bytes) > len(buf) {
-			continue
-		}
-		n := countOccurrences(buf, pat.Bytes)
-		sum.Total += n
-		sum.ByPart[pat.Part] += n
-	}
+	compile(patterns).scan(buf, len(buf), func(_, pat int) bool {
+		sum.Total++
+		sum.ByPart[patterns[pat].Part]++
+		return true
+	})
 	return sum
 }
 
@@ -150,63 +346,39 @@ type BufferMatch struct {
 	Part Part
 }
 
-// FindAllInBuffer locates every pattern occurrence in the buffer, sorted by
-// offset. Sweeps that evaluate multiple capture prefixes (e.g. "how many
-// copies after D directories?" for several D) find all matches once and
-// count by prefix instead of rescanning.
+// FindAllInBuffer locates every pattern occurrence in the buffer in one
+// pass, sorted by (Off, Part, Len) — the Part tie-break pins the order of
+// distinct patterns matching at the same offset, which an unstable
+// offset-only sort used to leave nondeterministic. Sweeps that evaluate
+// multiple capture prefixes (e.g. "how many copies after D directories?"
+// for several D) find all matches once and count by prefix instead of
+// rescanning.
 func FindAllInBuffer(buf []byte, patterns []Pattern) []BufferMatch {
 	var out []BufferMatch
-	for _, pat := range patterns {
-		if len(pat.Bytes) == 0 || len(pat.Bytes) > len(buf) {
-			continue
+	compile(patterns).scan(buf, len(buf), func(off, pat int) bool {
+		out = append(out, BufferMatch{Off: off, Len: len(patterns[pat].Bytes), Part: patterns[pat].Part})
+		return true
+	})
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Off != out[j].Off {
+			return out[i].Off < out[j].Off
 		}
-		from := 0
-		for {
-			i := indexOf(buf[from:], pat.Bytes)
-			if i < 0 {
-				break
-			}
-			out = append(out, BufferMatch{Off: from + i, Len: len(pat.Bytes), Part: pat.Part})
-			from += i + 1
+		if out[i].Part != out[j].Part {
+			return out[i].Part < out[j].Part
 		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
+		return out[i].Len < out[j].Len
+	})
 	return out
 }
 
 // FoundAny reports whether any pattern occurs in the buffer — the paper's
 // attack "success" criterion (disclosure of any one part compromises the
-// key).
+// key). The single-pass engine stops at the first hit.
 func FoundAny(buf []byte, patterns []Pattern) bool {
-	for _, pat := range patterns {
-		if len(pat.Bytes) == 0 || len(pat.Bytes) > len(buf) {
-			continue
-		}
-		if indexOf(buf, pat.Bytes) >= 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// countOccurrences counts (possibly overlapping) occurrences of pat in buf.
-func countOccurrences(buf, pat []byte) int {
-	n := 0
-	from := 0
-	for {
-		i := indexOf(buf[from:], pat)
-		if i < 0 {
-			return n
-		}
-		n++
-		from += i + 1
-	}
-}
-
-// indexOf wraps bytes.Index with the length guards the callers rely on.
-func indexOf(buf, pat []byte) int {
-	if len(pat) == 0 || len(pat) > len(buf) {
-		return -1
-	}
-	return bytes.Index(buf, pat)
+	found := false
+	compile(patterns).scan(buf, len(buf), func(_, _ int) bool {
+		found = true
+		return false
+	})
+	return found
 }

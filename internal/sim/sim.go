@@ -107,6 +107,9 @@ type Config struct {
 	// machine's syscall surface for this run (see internal/fault). Nil —
 	// the default — leaves every golden timeline byte-identical.
 	FaultPlan *fault.Plan
+	// ScanWorkers is the shard fan-out for the per-tick memory scan
+	// (0 = one per CPU). Any value yields byte-identical samples.
+	ScanWorkers int
 }
 
 func (c *Config) applyDefaults() {
@@ -213,7 +216,10 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("sim: pre-cache: %w", err)
 		}
 	}
-	sc := scan.New(k, scan.PatternsFor(key))
+	// One scanner reused across all ticks: the incremental per-frame cache
+	// makes each sample cost O(pages dirtied since the last tick), not
+	// O(memory) (DESIGN.md §9).
+	sc := scan.NewWith(k, scan.PatternsFor(key), scan.Options{Workers: cfg.ScanWorkers})
 	res := &Result{Config: cfg, Key: key, MemPages: cfg.MemPages}
 
 	var srv serverHandle

@@ -93,13 +93,20 @@ type MachineConfig struct {
 	// TraceEvents, when positive, enables the kernel event tracer with a
 	// ring of that capacity; read it back via Kernel().Trace().
 	TraceEvents int
+	// ScanWorkers is the shard fan-out for Scan/ScanMatches (0 = one per
+	// CPU). Any value yields byte-identical results (DESIGN.md §9).
+	ScanWorkers int
 }
 
 // Machine is one booted simulated computer.
 type Machine struct {
-	k          *kernel.Kernel
-	seed       int64
-	protection Protection
+	k           *kernel.Kernel
+	seed        int64
+	protection  Protection
+	scanWorkers int
+	// scanners caches one incremental scanner per installed key, so
+	// repeated Scan calls only re-walk frames written since the last call.
+	scanners map[*Key]*scan.Scanner
 }
 
 // NewMachine boots a machine.
@@ -129,7 +136,13 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 			return nil, fmt.Errorf("memshield: %w", err)
 		}
 	}
-	return &Machine{k: k, seed: cfg.Seed, protection: cfg.Protection}, nil
+	return &Machine{
+		k:           k,
+		seed:        cfg.Seed,
+		protection:  cfg.Protection,
+		scanWorkers: cfg.ScanWorkers,
+		scanners:    make(map[*Key]*scan.Scanner),
+	}, nil
 }
 
 // Kernel exposes the underlying simulated kernel for advanced use (direct
@@ -169,9 +182,16 @@ func (m *Machine) Scan(key *Key) scan.Summary {
 }
 
 // ScanMatches returns the raw per-copy matches (address, part,
-// allocated/unallocated, owning PIDs).
+// allocated/unallocated, owning PIDs). The machine keeps one incremental
+// scanner per key, so a rescan after little memory activity costs
+// O(pages written since the last scan), not O(memory).
 func (m *Machine) ScanMatches(key *Key) []scan.Match {
-	return scan.New(m.k, key.Patterns()).Scan()
+	sc := m.scanners[key]
+	if sc == nil {
+		sc = scan.NewWith(m.k, key.Patterns(), scan.Options{Workers: m.scanWorkers})
+		m.scanners[key] = sc
+	}
+	return sc.Scan()
 }
 
 // StartSSH starts a simulated OpenSSH server using the key previously
