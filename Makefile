@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-self test-faults bench-smoke fuzz figures figures-smoke
+.PHONY: all build test race lint lint-cold lint-self test-faults bench-smoke fuzz figures figures-smoke
 
 all: build lint test
 
@@ -17,9 +17,19 @@ race:
 	$(GO) test -race ./...
 
 # lint = the compiler-adjacent vet suite plus memlint, the repo's own
-# go/analysis-style checkers (detrand, physaccess, keycopy, simerrcheck,
-# nopanic). See DESIGN.md "Static guarantees".
+# go/analysis-style checkers (detrand, physaccess, keycopy, keylifetime,
+# simerrcheck, nopanic). See DESIGN.md "Static guarantees". memlint
+# reuses per-package results from .memlintcache when the inputs are
+# byte-identical; cold and warm runs print the same findings.
 lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/memlint ./...
+
+# lint-cold: the same gate with the on-disk result cache purged first —
+# every package is re-analyzed from scratch. CI times this against the
+# warm run and archives both numbers (memlint-timing artifact).
+lint-cold:
+	rm -rf .memlintcache
 	$(GO) vet ./...
 	$(GO) run ./cmd/memlint ./...
 

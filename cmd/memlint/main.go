@@ -1,12 +1,12 @@
 // Command memlint is the repository's static-analysis gate: it runs the
-// internal/analysis suite — detrand, physaccess, keycopy, simerrcheck,
-// nopanic — over the module and exits nonzero on any finding. CI runs it next to
+// internal/analysis suite — detrand, physaccess, keycopy, keylifetime,
+// simerrcheck, nopanic — over the module and exits nonzero on any finding. CI runs it next to
 // `go vet`; see DESIGN.md "Static guarantees" for the invariant each
 // analyzer enforces.
 //
 // Usage:
 //
-//	memlint [-list] [-tests=false] [-only name,name] [patterns...]
+//	memlint [-list] [-tests=false] [-only name,name] [-cache=false] [-cachedir dir] [patterns...]
 //
 // Patterns default to ./... (the whole module). Findings print as
 // file:line:col: message (analyzer). Suppress a deliberate exception with
@@ -15,6 +15,14 @@
 //	//memlint:allow <analyzer> <reason>
 //
 // comment on (or directly above) the offending line.
+//
+// Results are cached per package under .memlintcache at the module root
+// (internal/analysis/lintcache), keyed by the suite identity, toolchain
+// version, flag state, and the source bytes of the package plus its
+// module-internal transitive imports — so a warm run and a cold run
+// report identical findings, the warm one without re-analysis. -cache=false
+// bypasses the cache entirely (`make lint-cold` deletes the directory
+// first instead, timing the true cold path).
 package main
 
 import (
@@ -24,12 +32,15 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
 	"memshield/internal/analysis"
 	"memshield/internal/analysis/detrand"
 	"memshield/internal/analysis/keycopy"
+	"memshield/internal/analysis/keylifetime"
+	"memshield/internal/analysis/lintcache"
 	"memshield/internal/analysis/load"
 	"memshield/internal/analysis/nopanic"
 	"memshield/internal/analysis/physaccess"
@@ -41,9 +52,15 @@ var suite = []*analysis.Analyzer{
 	detrand.Analyzer,
 	physaccess.Analyzer,
 	keycopy.Analyzer,
+	keylifetime.Analyzer,
 	simerrcheck.Analyzer,
 	nopanic.Analyzer,
 }
+
+// suiteVersion salts the result cache; bump it whenever any analyzer's
+// behavior changes (new checks, message rewording, policy table edits),
+// so stale cached findings can never mask or invent a diagnostic.
+const suiteVersion = "1"
 
 func main() {
 	code, err := run(os.Args[1:], os.Stdout)
@@ -62,6 +79,8 @@ func run(args []string, out io.Writer) (int, error) {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	tests := fs.Bool("tests", true, "also analyze _test.go files")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
+	useCache := fs.Bool("cache", true, "reuse per-package results from the on-disk cache")
+	cacheDir := fs.String("cachedir", "", "cache directory (default <module root>/.memlintcache)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -100,33 +119,112 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 	fset := res.Fset
 
-	var diags []analysis.Diagnostic
+	lookup := func(name string) (analysis.FuncSource, bool) {
+		fi, ok := res.LookupFunc(name)
+		return analysis.FuncSource{Decl: fi.Decl, Info: fi.Info, PkgPath: fi.PkgPath}, ok
+	}
+
+	// The cache key folds in everything besides source bytes that can
+	// change a finding: the suite version, the toolchain, and the flags
+	// selecting what runs. Cold and warm runs therefore print identical
+	// results — a hit replays, a miss re-analyzes and stores.
+	var cache *lintcache.Cache
+	var salt []string
+	if *useCache {
+		dir := *cacheDir
+		if dir == "" {
+			dir = filepath.Join(res.ModuleRoot, ".memlintcache")
+		}
+		cache = &lintcache.Cache{Dir: dir}
+		names := make([]string, len(analyzers))
+		for i, a := range analyzers {
+			names[i] = a.Name
+		}
+		salt = []string{
+			"suite=" + suiteVersion,
+			"go=" + runtime.Version(),
+			"analyzers=" + strings.Join(names, ","),
+			fmt.Sprintf("tests=%v", *tests),
+		}
+	}
+
+	var findings []lintcache.Finding
 	for _, pkg := range res.Pkgs {
+		files := make([]string, len(pkg.Files))
+		for i, f := range pkg.Files {
+			files[i] = fset.Position(f.Pos()).Filename
+		}
+		key := ""
+		if cache != nil {
+			k, err := lintcache.Key(salt, pkg.PkgPath, files, pkg.Types.Imports(), res.ModuleRoot, res.ModulePath)
+			if err == nil {
+				key = k
+				if e, ok := cache.Lookup(key); ok {
+					for _, f := range e.Findings {
+						f.File = filepath.Join(res.ModuleRoot, f.File)
+						findings = append(findings, f)
+					}
+					continue
+				}
+			}
+		}
+		var pkgFindings []lintcache.Finding
 		for _, a := range analyzers {
 			pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.PkgPath, pkg.Info, pkg.IsTestFile)
 			pass.Sources = res.Sources
+			pass.Sinks = res.Sinks
+			pass.LookupFunc = lookup
+			pass.Summaries = res.Summaries()
 			if err := a.Run(pass); err != nil {
 				return 2, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
-			diags = append(diags, pass.Diagnostics()...)
+			for _, d := range pass.Diagnostics() {
+				pos := fset.Position(d.Pos)
+				pkgFindings = append(pkgFindings, lintcache.Finding{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Message: d.Message, Analyzer: d.Analyzer,
+				})
+			}
 		}
+		if cache != nil && key != "" {
+			entry := &lintcache.Entry{PkgPath: pkg.PkgPath}
+			storable := true
+			for _, f := range pkgFindings {
+				rel, err := filepath.Rel(res.ModuleRoot, f.File)
+				if err != nil || strings.HasPrefix(rel, "..") {
+					storable = false
+					break
+				}
+				f.File = rel
+				entry.Findings = append(entry.Findings, f)
+			}
+			if storable {
+				// Best effort: a failed store only costs the next run time.
+				_ = cache.Store(key, entry)
+			}
+		}
+		findings = append(findings, pkgFindings...)
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
 	})
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		fmt.Fprintf(out, "%s: %s (%s)\n", relPos(fset.Position(d.Pos), cwd), d.Message, d.Analyzer)
+	for _, f := range findings {
+		pos := token.Position{Filename: f.File, Line: f.Line, Column: f.Col}
+		fmt.Fprintf(out, "%s: %s (%s)\n", relPos(pos, cwd), f.Message, f.Analyzer)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(out, "memlint: %d finding(s)\n", len(diags))
+	if len(findings) > 0 {
+		fmt.Fprintf(out, "memlint: %d finding(s)\n", len(findings))
 		return 1, nil
 	}
 	return 0, nil

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 )
@@ -57,5 +58,54 @@ func TestOnlyUnknown(t *testing.T) {
 	var out bytes.Buffer
 	if _, err := run([]string{"-only", "nosuch"}, &out); err == nil {
 		t.Fatal("want error for unknown analyzer")
+	}
+}
+
+// TestCacheWarmMatchesCold is the cache's correctness contract: a cold
+// run (empty cache directory) and the warm rerun must print identical
+// findings with identical exit codes.
+func TestCacheWarmMatchesCold(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-cachedir", dir, "./internal/analysis/detrand/testdata/src/detrandbad"}
+
+	var cold bytes.Buffer
+	coldCode, err := run(args, &cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cold run left no cache entries (err=%v)", err)
+	}
+
+	var warm bytes.Buffer
+	warmCode, err := run(args, &warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldCode != warmCode {
+		t.Errorf("exit codes differ: cold %d, warm %d", coldCode, warmCode)
+	}
+	if cold.String() != warm.String() {
+		t.Errorf("outputs differ:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+	if warmCode != 1 || !strings.Contains(warm.String(), "finding(s)") {
+		t.Errorf("fixture findings missing from warm output:\n%s", warm.String())
+	}
+}
+
+// TestCacheDisabled runs with -cache=false and must write nothing.
+func TestCacheDisabled(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if _, err := run([]string{"-cache=false", "-cachedir", dir, "./internal/stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("-cache=false wrote %d cache entries", len(entries))
 	}
 }

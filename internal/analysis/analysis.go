@@ -59,12 +59,40 @@ type Pass struct {
 	IsTestFile func(*ast.File) bool
 	// Sources maps the go/types full name of every function the loader
 	// saw carrying a //memlint:source marker to the index of its tainted
-	// result. Drivers fill it from load.Result.Sources; the keycopy
-	// analyzer consumes it.
+	// result. Drivers fill it from load.Result.Sources; the keycopy and
+	// keylifetime analyzers consume it.
 	Sources map[string]int
+	// Sinks maps the go/types full name of every function carrying a
+	// //memlint:sink marker to the index of the byte-slice parameter it
+	// zeroizes. Drivers fill it from load.Result.Sinks.
+	Sinks map[string]int
+	// LookupFunc resolves a full function name to its declaration in any
+	// package the load session has type-checked, letting interprocedural
+	// analyzers walk callee bodies. Nil (and a false return) means "body
+	// unavailable" — analyzers must treat such callees conservatively.
+	LookupFunc func(fullName string) (FuncSource, bool)
+	// Summaries is the session-scoped memo interprocedural analyzers use
+	// to cache per-function facts across packages and Load calls. May be
+	// nil (every summary is then recomputed per pass).
+	Summaries SummaryStore
 
 	diagnostics []Diagnostic
 	allows      allowIndex
+}
+
+// A FuncSource is one resolvable function body: its declaration plus the
+// type info of the package that declares it.
+type FuncSource struct {
+	Decl    *ast.FuncDecl
+	Info    *types.Info
+	PkgPath string
+}
+
+// A SummaryStore memoizes per-function analysis facts. load.Result's
+// session cache implements it.
+type SummaryStore interface {
+	Get(key string) (any, bool)
+	Put(key string, v any)
 }
 
 // Reportf records a diagnostic at pos unless an allow directive suppresses

@@ -67,6 +67,12 @@ func runOne(t *testing.T, res *load.Result, a *analysis.Analyzer, pkg *load.Pack
 	fset := res.Fset
 	pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.PkgPath, pkg.Info, pkg.IsTestFile)
 	pass.Sources = res.Sources
+	pass.Sinks = res.Sinks
+	pass.LookupFunc = func(name string) (analysis.FuncSource, bool) {
+		fi, ok := res.LookupFunc(name)
+		return analysis.FuncSource{Decl: fi.Decl, Info: fi.Info, PkgPath: fi.PkgPath}, ok
+	}
+	pass.Summaries = res.Summaries()
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("checktest: %s on %s: %v", a.Name, pkg.PkgPath, err)
 	}

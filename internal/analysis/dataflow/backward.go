@@ -1,0 +1,133 @@
+package dataflow
+
+import "go/ast"
+
+// Remove deletes a fact; removing an absent fact is a no-op. Backward
+// must-transfers use it to kill facts (e.g. a release below a
+// reassignment does not release the value the variable held above it).
+func (f Facts[F]) Remove(x F) { delete(f, x) }
+
+// Backward runs a backward must-analysis over the CFG to fixpoint and
+// returns each block's exit facts (the facts in force immediately after
+// the block's last node), indexed by Block.Index.
+//
+// It is the dual of Forward in both axes: facts flow against the edges,
+// and the merge at a block with several successors is set INTERSECTION —
+// a fact holds at a point only if it holds on every path from that point
+// to the function exit. That is the shape a liveness-style obligation
+// check needs: "this buffer is definitely released between here and
+// return" is only true if it is released on all continuations.
+//
+// exit seeds the synthetic exit block (nil means no facts hold at exit).
+// transfer is applied to each block's nodes in reverse execution order
+// and must be monotone (per-node constant gen/kill sets are). Blocks
+// from which the exit is unreachable (infinite loops, dead code) keep
+// the top element — every fact vacuously holds, because no path from
+// them ever reaches exit. Termination: facts only shrink from top under
+// intersection and the per-function domain is finite.
+func Backward[F comparable](cfg *CFG, exit Facts[F], transfer Transfer[F]) []Facts[F] {
+	n := len(cfg.Blocks)
+	out := make([]Facts[F], n)
+	in := make([]Facts[F], n)
+	// known[i] marks blocks whose out set has left the top element.
+	// Intersection treats top as the identity: an unknown successor
+	// contributes nothing yet, and a block all of whose successors are
+	// unknown stays top itself.
+	known := make([]bool, n)
+
+	preds := make([][]*Block, n)
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+
+	apply := func(b *Block) Facts[F] {
+		fs := out[b.Index].Clone()
+		for i := len(b.Nodes) - 1; i >= 0; i-- {
+			transfer(b.Nodes[i], fs)
+		}
+		return fs
+	}
+
+	out[cfg.Exit.Index] = exit.Clone()
+	known[cfg.Exit.Index] = true
+	in[cfg.Exit.Index] = apply(cfg.Exit)
+
+	work := []*Block{cfg.Exit}
+	queued := make([]bool, n)
+	queued[cfg.Exit.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+
+		for _, p := range preds[blk.Index] {
+			// out[p] = intersection of in[s] over known successors s.
+			merged := Facts[F]{}
+			first := true
+			any := false
+			for _, s := range p.Succs {
+				if !known[s.Index] {
+					continue
+				}
+				any = true
+				if first {
+					merged = in[s.Index].Clone()
+					first = false
+					continue
+				}
+				for k := range merged {
+					if !in[s.Index][k] {
+						delete(merged, k)
+					}
+				}
+			}
+			if !any {
+				continue
+			}
+			if known[p.Index] && equal(out[p.Index], merged) {
+				continue
+			}
+			out[p.Index] = merged
+			known[p.Index] = true
+			in[p.Index] = apply(p)
+			if !queued[p.Index] {
+				queued[p.Index] = true
+				work = append(work, p)
+			}
+		}
+	}
+	// Blocks still at top never reach exit; leave their facts nil — the
+	// caller's WalkBackward visit sees nil facts, and Has on nil is false,
+	// which is the conservative reading for "is this release guaranteed".
+	return out
+}
+
+func equal[F comparable](a, b Facts[F]) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// WalkBackward replays a backward analysis deterministically: blocks in
+// index order, and within each block every node is passed to visit with
+// the facts in force immediately AFTER it executes (its backward input),
+// before transfer folds the node's own effect in. out must come from
+// Backward over the same CFG with the same transfer. Blocks the backward
+// pass never reached (no path to exit) are visited with nil facts.
+func WalkBackward[F comparable](cfg *CFG, out []Facts[F], transfer Transfer[F], visit func(n ast.Node, facts Facts[F])) {
+	for _, blk := range cfg.Blocks {
+		fs := out[blk.Index].Clone()
+		for i := len(blk.Nodes) - 1; i >= 0; i-- {
+			visit(blk.Nodes[i], fs)
+			transfer(blk.Nodes[i], fs)
+		}
+	}
+}

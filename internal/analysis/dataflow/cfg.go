@@ -16,9 +16,12 @@
 //
 // Edges cover if/else, for (cond/post, infinite), range, switch and type
 // switch (including fallthrough), select, goto, labeled break/continue,
-// and return. A defer statement adds an edge from its block to the exit
-// block — the deferred call runs at function exit, so exit-entry facts
-// over-approximate every environment a deferred call can observe.
+// and return. A defer statement adds NO edge: the deferred call runs at
+// function exit, which every terminating path already reaches, so an
+// extra edge would only distort analyses — in particular it would hand
+// the backward must-analysis a spurious "straight to exit" path that
+// erases every release established after the defer. Defer statements are
+// instead recorded in CFG.Defers for the analyzers' exit-block pass.
 package dataflow
 
 import (
@@ -45,6 +48,20 @@ type CFG struct {
 	// Exit is the single synthetic exit block: returns, falling off the
 	// end, and defer edges all lead here. It holds no nodes.
 	Exit *Block
+	// Defers lists the function's defer statements in source order. The
+	// deferred calls execute at function exit, so analyzers run a
+	// dedicated exit-block pass over them: a deferred function literal's
+	// body is analyzed under the EXIT block's entry facts (the union over
+	// every path reaching exit), not the facts at the registration point
+	// — a deferred closure that writes through a view taken after the
+	// defer statement is otherwise invisible. For gen-only forward
+	// transfers the exit facts are a superset of the facts at every
+	// registration point whose continuation terminates (the one caveat:
+	// a defer registered on a path that never returns is out of scope).
+	// Arguments of the deferred call are still evaluated at registration,
+	// so argument expressions are checked at the DeferStmt node like any
+	// other.
+	Defers []*ast.DeferStmt
 }
 
 // New builds the CFG of a function body.
@@ -188,9 +205,11 @@ func (b *builder) stmt(s ast.Stmt, label string) {
 
 	case *ast.DeferStmt:
 		// The deferred call's arguments are evaluated here; the call
-		// itself runs at function exit — model that as an exit edge.
+		// itself runs at function exit — record the statement for the
+		// analyzers' exit-block pass (see the Defers field; deliberately
+		// no edge to exit).
 		b.add(s)
-		b.edge(b.cur, b.cfg.Exit)
+		b.cfg.Defers = append(b.cfg.Defers, s)
 
 	case *ast.EmptyStmt:
 		// nothing

@@ -221,22 +221,44 @@ func (c *checker) longLivedTarget(e ast.Expr) string {
 // checkBody runs the dataflow pass over one function body and reports
 // violations with the facts in force at each node. seed carries a
 // closure's captured taint (nil for top-level functions).
+//
+// Deferred function literals run at function exit, not where they are
+// registered, so they get a dedicated exit-block pass: the body is
+// analyzed under the exit block's entry facts (the union over every path
+// reaching exit) instead of the registration-point facts — a deferred
+// closure writing through a view taken after the defer statement is
+// invisible to the occurrence-point check. The deferred call's argument
+// expressions are still evaluated (and checked) at the DeferStmt node.
 func (c *checker) checkBody(body *ast.BlockStmt, seed facts) {
 	cfg := dataflow.New(body)
 	ins := dataflow.Forward(cfg, seed, c.transfer)
+	deferred := map[*ast.FuncLit]bool{}
+	for _, d := range cfg.Defers {
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			deferred[lit] = true
+		}
+	}
 	dataflow.Walk(cfg, ins, c.transfer, func(n ast.Node, fs facts) {
-		c.visit(n, fs)
+		c.visit(n, fs, deferred)
 	})
+	exit := ins[cfg.Exit.Index]
+	for _, d := range cfg.Defers {
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			c.checkBody(lit.Body, exit.Clone())
+		}
+	}
 }
 
 // visit reports every violation inside one CFG node. Function literals
-// are analyzed by a recursive checkBody seeded with the current facts,
-// not descended into here.
-func (c *checker) visit(n ast.Node, fs facts) {
+// are analyzed by a recursive checkBody seeded with the current facts —
+// except deferred literals, which the exit-block pass handles.
+func (c *checker) visit(n ast.Node, fs facts, deferred map[*ast.FuncLit]bool) {
 	dataflow.Inspect(n, func(m ast.Node) bool {
 		switch m := m.(type) {
 		case *ast.FuncLit:
-			c.checkBody(m.Body, fs.Clone())
+			if !deferred[m] {
+				c.checkBody(m.Body, fs.Clone())
+			}
 			return false
 		case *ast.CallExpr:
 			if name := c.cloneName(m); name != "" && len(m.Args) == 1 && c.isTainted(m.Args[0], fs) {

@@ -55,3 +55,16 @@ func ClosureCapture(key *rsakey.PrivateKey) func() {
 		cachedKey = der // want `private-key material escapes into long-lived package-level variable cachedKey`
 	}
 }
+
+// DeferredEscape pins the exit-block defer pass: the closure runs at
+// function exit, by which time buf holds key bytes taken AFTER the defer
+// was registered — at the registration point buf is still clean, so only
+// the exit-facts analysis can see the escape.
+func DeferredEscape(key *rsakey.PrivateKey) {
+	var buf []byte
+	defer func() {
+		cachedKey = buf // want `private-key material escapes into long-lived package-level variable cachedKey`
+	}()
+	buf = key.MarshalDER()
+	_ = buf
+}

@@ -1,0 +1,352 @@
+// Package keylifetime implements the memlint analyzer that proves every
+// key-material buffer is zeroized before it goes out of reach — the
+// static form of the paper's core discipline (DESIGN.md §6): a private
+// key may live in at most one place, and every transient copy must be
+// scrubbed on every control-flow path, not just the happy one.
+//
+// It is the must-analysis complement to keycopy's may-analysis. keycopy
+// asks "can key bytes reach a long-lived location?" (forward, union at
+// joins — one bad path suffices to report). keylifetime asks "is this
+// buffer definitely released before function exit?" (backward,
+// intersection at joins — one bad path suffices to fail). A value is
+// tainted when it flows from a //memlint:source function; it is released
+// by reaching a //memlint:sink function (canonically scrub.Bytes), the
+// clear() builtin, a callee whose computed summary zeroizes the
+// parameter on all paths, or a return statement — returning transfers
+// the obligation to the caller, whose own keylifetime pass sees the
+// callee's tainted-result summary and carries it forward.
+//
+// The analysis is interprocedural: per-function summaries (tainted
+// results with provenance chains, parameter/receiver flows, zeroized
+// parameters) are computed bottom-up over the call graph, memoized in
+// the load session, iterated to fixpoint for direct recursion and
+// conservatively widened for mutual recursion, unknown bodies and
+// ambiguous function values. Facts are field-sensitive to two levels
+// (k.D and k.Primes are distinct obligations; xs[*] covers a slice's
+// elements), so zeroizing one field never silently discharges another.
+//
+// Accepted approximations, chosen to keep the checker decidable and the
+// fix idioms honest: slicing is whole-backing-array aliasing (releasing
+// b after b := a[2:] credits a); a deferred closure's zeroize of a
+// capture counts only for single-assignment captures (the closure reads
+// the variable at exit time); sink calls on an indexed element xs[i]
+// release the per-element fact xs[*] — the sanctioned idiom is a loop
+// scrubbing every element.
+package keylifetime
+
+import (
+	"go/ast"
+
+	"memshield/internal/analysis"
+	"memshield/internal/analysis/dataflow"
+	"memshield/internal/analysis/policy"
+)
+
+// Analyzer is the keylifetime analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "keylifetime",
+	Doc: "prove every //memlint:source-tainted buffer reaches a zeroizing " +
+		"release (//memlint:sink, clear, a zeroizing callee, or a return " +
+		"transferring the obligation) on every path to function exit",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Packages whose charter is retaining key bytes (the scanner, the key
+	// finders, the attacks) are exempt wholesale; everyone else — the
+	// crypto stack included — must scrub transient copies.
+	if policy.Allowed(pass.PkgPath, policy.RetainKeys) {
+		return nil
+	}
+	c := &checker{
+		pass:       pass,
+		inProgress: map[string]bool{},
+		local:      map[string]*Summary{},
+		sawCycle:   map[string]bool{},
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			en := newEngine(c, pass.TypesInfo, fd, nil)
+			c.checkBody(en, fd.Body, nil)
+		}
+	}
+	return nil
+}
+
+// checkBody runs both dataflow passes over one function (or function
+// literal) body and reports every obligation the backward pass cannot
+// discharge. seed carries the forward taint facts at the body's
+// occurrence point (nil for top-level declarations: parameters are the
+// caller's obligation, tracked through summaries).
+func (c *checker) checkBody(en *engine, body *ast.BlockStmt, seed facts) {
+	cfg := dataflow.New(body)
+	ins := dataflow.Forward(cfg, seed, en.taintTransfer)
+	outs := dataflow.Backward(cfg, nil, en.releaseTransfer)
+
+	// released[n] is the set of paths guaranteed to be released on every
+	// continuation after node n — what the obligation check consults.
+	released := map[ast.Node]facts{}
+	dataflow.WalkBackward(cfg, outs, en.releaseTransfer, func(n ast.Node, fs facts) {
+		released[n] = fs.Clone()
+	})
+
+	bc := &bodyCheck{c: c, en: en, released: released, deferred: map[*ast.FuncLit]bool{}}
+	for _, d := range cfg.Defers {
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			bc.deferred[lit] = true
+		}
+	}
+	dataflow.Walk(cfg, ins, en.taintTransfer, bc.visit)
+
+	// Exit-block pass: a deferred closure runs at function exit and
+	// observes the union of facts over every path reaching it — analyze
+	// its body there, not at the registration point.
+	exit := ins[cfg.Exit.Index]
+	for _, d := range cfg.Defers {
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			sub := newEngine(c, en.info, nil, lit)
+			c.checkBody(sub, lit.Body, exit.Clone())
+		}
+	}
+}
+
+// bodyCheck is the per-body reporting walk, run under the forward facts.
+type bodyCheck struct {
+	c        *checker
+	en       *engine
+	released map[ast.Node]facts
+	deferred map[*ast.FuncLit]bool
+}
+
+// Expression contexts for the anonymous-source-call scan: a call whose
+// results carry key material is fine as the direct RHS of an assignment
+// (the binding obligation owns it), as a return operand (ownership
+// transfer) or at a zeroizing argument position; anywhere else the copy
+// is anonymous — nothing can ever scrub it.
+const (
+	ctxLeak = iota
+	ctxBound
+	ctxReturn
+	ctxSink
+)
+
+func (b *bodyCheck) visit(n ast.Node, fs facts) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		b.checkAssignParts(s, s.Lhs, s.Rhs, fs)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, id := range vs.Names {
+						lhs[i] = id
+					}
+					b.checkAssignParts(s, lhs, vs.Values, fs)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			b.scanExpr(r, fs, ctxReturn)
+		}
+	case *ast.DeferStmt:
+		// Arguments are evaluated at registration; a source result passed
+		// to a deferred sink is created now and zeroized at exit, which
+		// satisfies the discipline.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok && b.deferred[lit] {
+			return // body handled by the exit-block pass
+		}
+		b.scanExpr(s.Call, fs, ctxLeak)
+	case *ast.GoStmt:
+		b.scanExpr(s.Call, fs, ctxLeak)
+	case *ast.ExprStmt:
+		b.scanExpr(s.X, fs, ctxLeak)
+	case *ast.SendStmt:
+		b.scanExpr(s.Value, fs, ctxLeak)
+	case *ast.RangeStmt:
+		b.scanExpr(s.X, fs, ctxLeak)
+	case *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.LabeledStmt:
+		// no expressions that can carry byte slices
+	case ast.Expr:
+		// Decomposed control expressions: if/for conditions, switch tags,
+		// case expressions.
+		b.scanExpr(s, fs, ctxLeak)
+	}
+}
+
+// checkAssignParts registers binding obligations for tainted call
+// results and scans the right-hand sides for anonymous source calls.
+// stmt is the enclosing CFG node, the key into the backward release map.
+func (b *bodyCheck) checkAssignParts(stmt ast.Node, lhs, rhs []ast.Expr, fs facts) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			for idx, origin := range b.en.resultTaint(call, fs) {
+				if idx < len(lhs) {
+					b.obligation(stmt, lhs[idx], call, idx, origin)
+				}
+			}
+			b.scanExpr(call, fs, ctxBound)
+		}
+		return
+	}
+	for i, r := range rhs {
+		if i >= len(lhs) {
+			break
+		}
+		ctx := ctxLeak
+		if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+			ctx = ctxBound
+			if origin, ok := b.en.resultTaint(call, fs)[0]; ok {
+				b.obligation(stmt, lhs[i], call, 0, origin)
+			}
+		}
+		b.scanExpr(r, fs, ctx)
+	}
+}
+
+// obligation checks that the value just bound to lhs is provably
+// released on every continuation, and reports with the full
+// source-to-binding provenance chain when it is not. Only byte-slice
+// results carry obligations: taint flowing into a *big.Int is the
+// documented math/big hole (DESIGN.md §6) — there is no slice to scrub.
+func (b *bodyCheck) obligation(stmt ast.Node, lhs ast.Expr, call *ast.CallExpr, idx int, origin string) {
+	if !b.en.resultIsByteSlice(call, idx) {
+		return
+	}
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+		b.c.pass.Reportf(lhs.Pos(),
+			"key material (%s) is discarded into _ where nothing can zeroize it; "+
+				"bind it and release it with scrub.Bytes (or another //memlint:sink)", origin)
+		return
+	}
+	p, ok := b.en.pathOf(lhs)
+	if !ok {
+		b.c.pass.Reportf(lhs.Pos(),
+			"key material (%s) is stored where the lifetime verifier cannot prove "+
+				"a zeroize (map entry, pointer dereference, or a path deeper than two "+
+				"fields); bind it to a local first and scrub that", origin)
+		return
+	}
+	if b.released[stmt].Has(p) {
+		return
+	}
+	b.c.pass.Reportf(lhs.Pos(),
+		"key material in %s (%s) is not zeroized on every path to return; "+
+			"release it with scrub.Bytes / clear / a zeroizing callee, or return "+
+			"it to transfer the obligation to the caller (DESIGN.md §6)",
+		p, origin)
+}
+
+// scanExpr walks an expression looking for source calls consumed where
+// no obligation can ever attach, and recurses into function literals at
+// their occurrence facts.
+func (b *bodyCheck) scanExpr(e ast.Expr, fs facts, ctx int) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		// Conversions and append are transparent: the bytes end up in the
+		// surrounding context's value.
+		if b.en.isConversion(x) && len(x.Args) == 1 {
+			b.scanExpr(x.Args[0], fs, ctx)
+			return
+		}
+		if name := b.en.builtinName(x); name != "" {
+			argCtx := ctxLeak
+			if name == "append" {
+				argCtx = ctx
+			}
+			if name == "clear" {
+				argCtx = ctxSink
+			}
+			for _, a := range x.Args {
+				b.scanExpr(a, fs, argCtx)
+			}
+			return
+		}
+		if ctx == ctxLeak {
+			if origin, ok := anyByteTaint(b.en, x, b.en.resultTaint(x, fs)); ok {
+				callee := "the callee"
+				if fn := analysis.FuncObj(b.en.info, x); fn != nil {
+					callee = prettyName(fn)
+				}
+				b.c.pass.Reportf(x.Pos(),
+					"result of %s carries key material (%s) but is consumed anonymously, "+
+						"so nothing can ever zeroize the copy; bind it to a local, use it, "+
+						"and release it with scrub.Bytes (or another //memlint:sink)",
+					callee, origin)
+			}
+		}
+		zeroized := map[int]bool{}
+		if fn := analysis.FuncObj(b.en.info, x); fn != nil {
+			for idx, z := range b.c.summaryOf(fn).ZeroizedParams {
+				if z {
+					zeroized[idx] = true
+				}
+			}
+		}
+		for i, a := range x.Args {
+			argCtx := ctxLeak
+			if zeroized[i] {
+				argCtx = ctxSink
+			}
+			b.scanExpr(a, fs, argCtx)
+		}
+		if rx := receiverExpr(x); rx != nil {
+			b.scanExpr(rx, fs, ctxLeak)
+		}
+	case *ast.FuncLit:
+		if !b.deferred[x] {
+			sub := newEngine(b.c, b.en.info, nil, x)
+			b.c.checkBody(sub, x.Body, fs.Clone())
+		}
+	case *ast.BinaryExpr:
+		b.scanExpr(x.X, fs, ctxLeak)
+		b.scanExpr(x.Y, fs, ctxLeak)
+	case *ast.UnaryExpr:
+		b.scanExpr(x.X, fs, ctxLeak)
+	case *ast.StarExpr:
+		b.scanExpr(x.X, fs, ctxLeak)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			b.scanExpr(el, fs, ctxLeak)
+		}
+	case *ast.IndexExpr:
+		b.scanExpr(x.X, fs, ctxLeak)
+		b.scanExpr(x.Index, fs, ctxLeak)
+	case *ast.SliceExpr:
+		b.scanExpr(x.X, fs, ctxLeak)
+	case *ast.SelectorExpr:
+		b.scanExpr(x.X, fs, ctxLeak)
+	case *ast.TypeAssertExpr:
+		b.scanExpr(x.X, fs, ctxLeak)
+	case *ast.KeyValueExpr:
+		b.scanExpr(x.Value, fs, ctxLeak)
+	}
+}
+
+// anyByteTaint picks the lowest-index tainted BYTE-SLICE result, for
+// deterministic messages on multi-result calls. Tainted non-slice
+// results (a *big.Int) are the documented math/big hole and carry no
+// scrub obligation.
+func anyByteTaint(en *engine, call *ast.CallExpr, rt map[int]string) (string, bool) {
+	best, origin := -1, ""
+	for idx, o := range rt {
+		if !en.resultIsByteSlice(call, idx) {
+			continue
+		}
+		if best < 0 || idx < best {
+			best, origin = idx, o
+		}
+	}
+	return origin, best >= 0
+}

@@ -1,0 +1,24 @@
+package keylifetime_test
+
+import (
+	"testing"
+
+	"memshield/internal/analysis/checktest"
+	"memshield/internal/analysis/keylifetime"
+)
+
+// TestKeylifetime runs the fixture table: each package pairs leaking
+// variants (with // want expectations) against clean counterparts that
+// must stay silent.
+func TestKeylifetime(t *testing.T) {
+	for _, pkg := range []string{
+		"keylifebad",   // intraprocedural leaks: missed paths, _, anonymous use
+		"keylifeok",    // clean releases: sink, clear, defer, closure, alias, return
+		"keylifeinter", // interprocedural: chains, recursion, method values, closures
+		"keylifefield", // field-sensitive: struct members, slice elements
+	} {
+		t.Run(pkg, func(t *testing.T) {
+			checktest.Run(t, "testdata", keylifetime.Analyzer, pkg)
+		})
+	}
+}

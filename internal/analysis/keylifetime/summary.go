@@ -1,0 +1,979 @@
+package keylifetime
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"memshield/internal/analysis"
+	"memshield/internal/analysis/dataflow"
+)
+
+// A path is one field-sensitive taint fact: a root variable plus a
+// bounded access suffix — "" for the variable itself, ".D" for a struct
+// member, "[*]" for the elements of a slice, composed to depth two
+// ("k.D", "bufs[*]", "k.Parts[*]"). Field sensitivity is what keeps a
+// zeroize of Key.D from falsely clearing Key.Primes: the two are
+// distinct facts. Deeper accesses degrade to unresolvable, which is the
+// conservative direction for both analyses (taint may be missed only
+// where an obligation could never be discharged either).
+type path struct {
+	root *types.Var
+	sel  string
+}
+
+func (p path) String() string {
+	if p.root == nil {
+		return "<nil>"
+	}
+	return p.root.Name() + p.sel
+}
+
+// facts is a set of paths (forward: may hold key material; backward:
+// definitely released before exit).
+type facts = dataflow.Facts[path]
+
+// paramOriginPrefix tags taint origins that denote "flowed in from a
+// parameter" during summary computation; summaries translate them into
+// ParamFlows/RecvFlows entries instead of source chains.
+const paramOriginPrefix = "\x00"
+
+// A Summary is one function's interprocedural contract, computed
+// bottom-up over the call graph and memoized in the load session's
+// summary cache.
+type Summary struct {
+	// TaintedResults maps result index → provenance chain for results
+	// that carry key material independent of the arguments (a marked
+	// source, or a tainted local flowing out), e.g.
+	// "rsakey.MarshalDER → p.wrapKey".
+	TaintedResults map[int]string
+	// ParamFlows maps parameter index → result indices the parameter's
+	// bytes may flow into (callers propagate argument taint through).
+	ParamFlows map[int][]int
+	// RecvFlows lists result indices the receiver's state may flow into
+	// (a Decoder handing out subslices of the buffer it wraps).
+	RecvFlows []int
+	// ZeroizedParams maps parameter index → true when the byte-slice
+	// parameter is provably released on every path to exit — calling the
+	// function IS a zeroizing sink for that argument.
+	ZeroizedParams map[int]bool
+	// Widened marks a conservative stub: body unavailable (stdlib,
+	// interfaces, function values) or a recursion cycle mid-computation.
+	// A widened callee taints every result from any tainted argument or
+	// receiver and zeroizes nothing.
+	Widened bool
+}
+
+func (s *Summary) equal(o *Summary) bool {
+	if s.Widened != o.Widened || len(s.TaintedResults) != len(o.TaintedResults) ||
+		len(s.ParamFlows) != len(o.ParamFlows) || len(s.ZeroizedParams) != len(o.ZeroizedParams) ||
+		len(s.RecvFlows) != len(o.RecvFlows) {
+		return false
+	}
+	for k, v := range s.TaintedResults {
+		if o.TaintedResults[k] != v {
+			return false
+		}
+	}
+	for k, v := range s.ParamFlows {
+		if len(o.ParamFlows[k]) != len(v) {
+			return false
+		}
+	}
+	for k, v := range s.ZeroizedParams {
+		if o.ZeroizedParams[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+var widened = &Summary{Widened: true}
+
+// checker is the per-pass analyzer state shared by the obligation check
+// and the summary computation.
+type checker struct {
+	pass *analysis.Pass
+	// inProgress guards the bottom-up summary walk against call-graph
+	// cycles: a callee already on the stack answers with the widened
+	// stub (conservative widening for mutual recursion); direct
+	// self-recursion is refined by fixpoint iteration in summaryOf.
+	inProgress map[string]bool
+	// sawCycle marks functions whose summary computation hit themselves
+	// on the stack — the ones worth iterating to fixpoint.
+	sawCycle map[string]bool
+	// local memo for summaries when the driver provides no session cache.
+	local map[string]*Summary
+}
+
+func (c *checker) cacheGet(key string) (*Summary, bool) {
+	if c.pass.Summaries != nil {
+		v, ok := c.pass.Summaries.Get(key)
+		if !ok {
+			return nil, false
+		}
+		s, ok := v.(*Summary)
+		return s, ok
+	}
+	s, ok := c.local[key]
+	return s, ok
+}
+
+func (c *checker) cachePut(key string, s *Summary) {
+	if c.pass.Summaries != nil {
+		c.pass.Summaries.Put(key, s)
+		return
+	}
+	c.local[key] = s
+}
+
+// prettyName renders a function for diagnostics: package name + function
+// name ("rsakey.MarshalDER", "scrub.Bytes"), dropping receiver noise.
+func prettyName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+// summaryOf resolves fn's interprocedural summary: marker tables first,
+// then a memoized bottom-up computation over its body, then the widened
+// stub when no body is reachable. Marked sources and sinks contribute
+// their declared facts even when the body is also analyzed.
+func (c *checker) summaryOf(fn *types.Func) *Summary {
+	key := fn.FullName()
+	if s, ok := c.cacheGet(key); ok {
+		return s
+	}
+	if c.inProgress[key] {
+		c.sawCycle[key] = true
+		return widened
+	}
+	c.inProgress[key] = true
+	defer delete(c.inProgress, key)
+
+	sum := c.computeSummary(fn)
+	// Fixpoint iteration for direct recursion: the first computation saw
+	// the widened stub for self-calls; republishing the result and
+	// recomputing until stable credits releases and flows through the
+	// recursive call. The domains are finite and grow monotonically from
+	// the stub, so this terminates quickly. Non-recursive functions (the
+	// overwhelming majority) skip the iteration entirely.
+	if c.sawCycle[key] {
+		for range 4 {
+			c.cachePut(key, sum)
+			next := c.computeSummary(fn)
+			if next.equal(sum) {
+				break
+			}
+			sum = next
+		}
+	}
+	c.cachePut(key, sum)
+	return sum
+}
+
+// computeSummary builds one function's summary from markers plus one
+// intraprocedural pass over its body (when available).
+func (c *checker) computeSummary(fn *types.Func) *Summary {
+	sum := &Summary{
+		TaintedResults: map[int]string{},
+		ParamFlows:     map[int][]int{},
+		ZeroizedParams: map[int]bool{},
+	}
+	name := fn.FullName()
+	marked := false
+	if idx, ok := c.pass.Sources[name]; ok {
+		sum.TaintedResults[idx] = prettyName(fn)
+		marked = true
+	}
+	if idx, ok := c.pass.Sinks[name]; ok {
+		sum.ZeroizedParams[idx] = true
+		marked = true
+	}
+	var fi analysis.FuncSource
+	ok := false
+	if c.pass.LookupFunc != nil {
+		fi, ok = c.pass.LookupFunc(name)
+	}
+	if !ok {
+		if marked {
+			return sum
+		}
+		return widened
+	}
+	en := newEngine(c, fi.Info, fi.Decl, nil)
+	en.analyzeForSummary(fi.Decl, sum)
+	return sum
+}
+
+// engine runs the two dataflow passes over one function body under one
+// package's type info. It is built fresh per body.
+type engine struct {
+	c    *checker
+	info *types.Info
+
+	// bindings records function values assigned to local variables (a
+	// method value, a named function, a closure literal), so calls
+	// through the variable resolve. Taint uses the union of bindings;
+	// release credit requires the binding to be unambiguous.
+	bindings map[*types.Var][]binding
+	// writes counts assignments per root variable; a deferred closure's
+	// zeroize of a capture is only trusted when the capture is
+	// single-assignment (the closure reads the variable at exit time,
+	// not at registration).
+	writes map[*types.Var]int
+	// origins maps each tainted path to its provenance chains (first few
+	// distinct gens, in gen order).
+	origins map[path][]string
+	// namedResults are the declared result variables, for bare returns.
+	namedResults []path
+	// results maps a named-result variable to its index.
+	resultIndex map[*types.Var]int
+	sig         *types.Signature
+	lits        map[*ast.FuncLit]*litSummary
+}
+
+type binding struct {
+	fn  *types.Func
+	lit *ast.FuncLit
+}
+
+// litSummary is the closure analogue of Summary: which captured
+// variables the literal zeroizes on all its paths, and whether its
+// results carry key material.
+type litSummary struct {
+	zeroizedCaptures []path
+	taintedResults   map[int]string
+}
+
+func newEngine(c *checker, info *types.Info, decl *ast.FuncDecl, lit *ast.FuncLit) *engine {
+	en := &engine{
+		c:           c,
+		info:        info,
+		bindings:    map[*types.Var][]binding{},
+		writes:      map[*types.Var]int{},
+		origins:     map[path][]string{},
+		resultIndex: map[*types.Var]int{},
+		lits:        map[*ast.FuncLit]*litSummary{},
+	}
+	var body *ast.BlockStmt
+	var ftyp *ast.FuncType
+	if decl != nil {
+		body, ftyp = decl.Body, decl.Type
+		if fn, ok := info.Defs[decl.Name].(*types.Func); ok {
+			en.sig = fn.Type().(*types.Signature)
+		}
+	} else {
+		body, ftyp = lit.Body, lit.Type
+		if tv, ok := info.Types[lit]; ok {
+			en.sig, _ = tv.Type.(*types.Signature)
+		}
+	}
+	if ftyp.Results != nil {
+		idx := 0
+		for _, field := range ftyp.Results.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, n := range field.Names {
+				if v, ok := info.Defs[n].(*types.Var); ok {
+					en.namedResults = append(en.namedResults, path{v, ""})
+					en.resultIndex[v] = idx
+				}
+				idx++
+			}
+		}
+	}
+	en.prescan(body)
+	return en
+}
+
+// prescan records function-value bindings and per-variable write counts
+// for the whole body, closures included (both are flow-insensitive
+// over-approximations consumed conservatively).
+func (en *engine) prescan(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := en.info.ObjectOf(id).(*types.Var)
+			if !ok {
+				continue
+			}
+			en.writes[v]++
+			if len(as.Lhs) != len(as.Rhs) {
+				continue
+			}
+			switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.FuncLit:
+				en.bindings[v] = append(en.bindings[v], binding{lit: rhs})
+			case *ast.Ident:
+				if fn, ok := en.info.Uses[rhs].(*types.Func); ok {
+					en.bindings[v] = append(en.bindings[v], binding{fn: fn})
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := en.info.Uses[rhs.Sel].(*types.Func); ok {
+					en.bindings[v] = append(en.bindings[v], binding{fn: fn})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// pathOf resolves an expression to its access path. The second result is
+// false for expressions outside the path language (pointer derefs, map
+// entries, calls, paths deeper than two components).
+func (en *engine) pathOf(e ast.Expr) (path, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := en.info.ObjectOf(x).(*types.Var); ok && !v.IsField() {
+			return path{v, ""}, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := en.info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			base, ok := en.pathOf(x.X)
+			if !ok || pathDepth(base.sel) >= 2 {
+				return path{}, false
+			}
+			return path{base.root, base.sel + "." + x.Sel.Name}, true
+		}
+		// Package-qualified variable (pkg.Var).
+		if v, ok := en.info.ObjectOf(x.Sel).(*types.Var); ok && !v.IsField() {
+			return path{v, ""}, true
+		}
+	case *ast.IndexExpr:
+		// Map entries are out of the domain: a release through one key
+		// must not credit a store through another, and there is no
+		// bounded way to tell keys apart.
+		if t := en.info.TypeOf(x.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return path{}, false
+			}
+		}
+		base, ok := en.pathOf(x.X)
+		if !ok {
+			return path{}, false
+		}
+		if strings.HasSuffix(base.sel, "[*]") {
+			return base, true
+		}
+		if pathDepth(base.sel) >= 2 {
+			return path{}, false
+		}
+		return path{base.root, base.sel + "[*]"}, true
+	case *ast.SliceExpr:
+		return en.pathOf(x.X) // a reslice shares the backing array
+	}
+	return path{}, false
+}
+
+func pathDepth(sel string) int {
+	return strings.Count(sel, ".") + strings.Count(sel, "[*]")
+}
+
+// lookup reports whether p or any enclosing prefix of p is in fs (a
+// wholesale-tainted struct taints every member read).
+func lookup(fs facts, p path) (path, bool) {
+	for {
+		if fs.Has(p) {
+			return p, true
+		}
+		i := strings.LastIndexAny(p.sel, ".[")
+		if i < 0 {
+			return path{}, false
+		}
+		if p.sel[i] == '[' {
+			p.sel = p.sel[:i]
+		} else {
+			p.sel = p.sel[:i]
+		}
+	}
+}
+
+// addOrigin records a provenance chain for a freshly tainted path
+// (bounded, first-gen-wins per distinct chain).
+func (en *engine) addOrigin(p path, origin string) {
+	if origin == "" {
+		return
+	}
+	chains := en.origins[p]
+	for _, c := range chains {
+		if c == origin {
+			return
+		}
+	}
+	if len(chains) < 4 {
+		en.origins[p] = append(chains, origin)
+	}
+}
+
+// originOf returns the recorded provenance for a tainted path,
+// preferring a source chain over a parameter-flow tag.
+func (en *engine) originOf(p path) string {
+	chains := en.origins[p]
+	for _, c := range chains {
+		if !strings.HasPrefix(c, paramOriginPrefix) {
+			return c
+		}
+	}
+	if len(chains) > 0 {
+		return chains[0]
+	}
+	return "key material"
+}
+
+// taintedExpr reports whether e may carry key material under fs, with
+// the provenance chain of the first taint that reaches it.
+func (en *engine) taintedExpr(e ast.Expr, fs facts) (string, bool) {
+	if p, ok := en.pathOf(e); ok {
+		if hit, ok := lookup(fs, p); ok {
+			return en.originOf(hit), true
+		}
+		return "", false
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		rt := en.resultTaint(x, fs)
+		if o, ok := rt[0]; ok {
+			return o, true
+		}
+		return "", false
+	case *ast.BinaryExpr:
+		if o, ok := en.taintedExpr(x.X, fs); ok {
+			return o, true
+		}
+		return en.taintedExpr(x.Y, fs)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if o, ok := en.taintedExpr(el, fs); ok {
+				return o, true
+			}
+		}
+	case *ast.UnaryExpr:
+		return en.taintedExpr(x.X, fs)
+	case *ast.StarExpr:
+		return en.taintedExpr(x.X, fs)
+	}
+	return "", false
+}
+
+// builtinName returns the built-in a call invokes, or "".
+func (en *engine) builtinName(call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := en.info.Uses[id].(*types.Builtin); !ok {
+		return ""
+	}
+	return id.Name
+}
+
+// isConversion reports whether the call is a type conversion.
+func (en *engine) isConversion(call *ast.CallExpr) bool {
+	tv, ok := en.info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// receiverExpr returns the receiver expression of a method call, or nil.
+func receiverExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// calleeSummaries resolves a call's possible targets: the static callee,
+// or every binding of a function-valued variable. An empty slice means
+// "unknown" (treated as widened).
+func (en *engine) calleeSummaries(call *ast.CallExpr) []*Summary {
+	if fn := analysis.FuncObj(en.info, call); fn != nil {
+		return []*Summary{en.c.summaryOf(fn)}
+	}
+	if p, ok := en.pathOf(call.Fun); ok && p.sel == "" {
+		var out []*Summary
+		for _, b := range en.bindings[p.root] {
+			if b.fn != nil {
+				out = append(out, en.c.summaryOf(b.fn))
+			} else if b.lit != nil {
+				ls := en.litSummaryOf(b.lit)
+				s := &Summary{TaintedResults: ls.taintedResults}
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// resultTaint computes which results of a call may carry key material
+// under fs, mapping result index → provenance chain.
+func (en *engine) resultTaint(call *ast.CallExpr, fs facts) map[int]string {
+	out := map[int]string{}
+	if en.isConversion(call) && len(call.Args) == 1 {
+		if o, ok := en.taintedExpr(call.Args[0], fs); ok {
+			out[0] = o
+		}
+		return out
+	}
+	switch en.builtinName(call) {
+	case "append":
+		for _, a := range call.Args {
+			if o, ok := en.taintedExpr(a, fs); ok {
+				out[0] = o
+				return out
+			}
+		}
+		return out
+	case "":
+	default:
+		return out // other builtins never yield key material
+	}
+	sums := en.calleeSummaries(call)
+	if len(sums) == 0 {
+		sums = []*Summary{widened}
+	}
+	callee := "call"
+	if fn := analysis.FuncObj(en.info, call); fn != nil {
+		callee = prettyName(fn)
+	}
+	for _, sum := range sums {
+		for idx, origin := range sum.TaintedResults {
+			if _, ok := out[idx]; !ok {
+				out[idx] = origin
+			}
+		}
+		if sum.Widened {
+			// Unknown callee: any tainted argument or receiver may flow
+			// into every result.
+			origin, tainted := "", false
+			for _, a := range call.Args {
+				if o, ok := en.taintedExpr(a, fs); ok {
+					origin, tainted = o, true
+					break
+				}
+			}
+			if !tainted {
+				if rx := receiverExpr(call); rx != nil {
+					if o, ok := en.taintedExpr(rx, fs); ok {
+						origin, tainted = o, true
+					}
+				}
+			}
+			if tainted {
+				if _, ok := out[0]; !ok {
+					out[0] = origin + " via " + callee
+				}
+			}
+			continue
+		}
+		for pi, results := range sum.ParamFlows {
+			if pi >= len(call.Args) {
+				continue
+			}
+			if o, ok := en.taintedExpr(call.Args[pi], fs); ok {
+				for _, ri := range results {
+					if _, have := out[ri]; !have {
+						out[ri] = o + " via " + callee
+					}
+				}
+			}
+		}
+		if len(sum.RecvFlows) > 0 {
+			if rx := receiverExpr(call); rx != nil {
+				if o, ok := en.taintedExpr(rx, fs); ok {
+					for _, ri := range sum.RecvFlows {
+						if _, have := out[ri]; !have {
+							out[ri] = o + " via " + callee
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// taintTransfer is the forward may-transfer: assignments, declarations
+// and range bindings propagate key material along paths. It is gen-only
+// (monotone); provenance is recorded on first gen.
+func (en *engine) taintTransfer(n ast.Node, fs facts) {
+	dataflow.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			en.taintAssign(m.Lhs, m.Rhs, fs)
+		case *ast.GenDecl:
+			for _, spec := range m.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, id := range vs.Names {
+						lhs[i] = id
+					}
+					en.taintAssign(lhs, vs.Values, fs)
+				}
+			}
+		case *ast.RangeStmt:
+			// for _, v := range xs with xs (or its elements) tainted
+			// binds tainted values to v.
+			if o, ok := en.taintedExpr(m.X, fs); ok && m.Value != nil {
+				if p, ok := en.pathOf(m.Value); ok {
+					fs.Add(p)
+					en.addOrigin(p, o)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (en *engine) taintAssign(lhs, rhs []ast.Expr, fs facts) {
+	switch {
+	case len(lhs) == len(rhs):
+		for i, r := range rhs {
+			if o, ok := en.taintedExpr(r, fs); ok {
+				if p, ok := en.pathOf(lhs[i]); ok {
+					fs.Add(p)
+					en.addOrigin(p, o)
+				}
+			}
+		}
+	case len(rhs) == 1:
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			for idx, o := range en.resultTaint(call, fs) {
+				if idx < len(lhs) {
+					if p, ok := en.pathOf(lhs[idx]); ok {
+						fs.Add(p)
+						en.addOrigin(p, o)
+					}
+				}
+			}
+		}
+	}
+}
+
+// releaseArgs yields the paths a call releases: arguments at marked or
+// summary-proven zeroizing positions, clear()'s operand, and — for an
+// unambiguous closure binding — the captures the closure zeroizes.
+func (en *engine) releaseArgs(call *ast.CallExpr, add func(path)) {
+	if en.builtinName(call) == "clear" && len(call.Args) == 1 {
+		if p, ok := en.pathOf(call.Args[0]); ok {
+			add(p)
+		}
+		return
+	}
+	addParam := func(idx int) {
+		if idx < len(call.Args) {
+			if p, ok := en.pathOf(call.Args[idx]); ok {
+				add(p)
+			}
+		}
+	}
+	if fn := analysis.FuncObj(en.info, call); fn != nil {
+		sum := en.c.summaryOf(fn)
+		for idx, z := range sum.ZeroizedParams {
+			if z {
+				addParam(idx)
+			}
+		}
+		return
+	}
+	// Function-valued call: release credit only for an unambiguous
+	// binding — with several possible targets we cannot prove which runs.
+	if p, ok := en.pathOf(call.Fun); ok && p.sel == "" {
+		if bs := en.bindings[p.root]; len(bs) == 1 {
+			if bs[0].fn != nil {
+				for idx, z := range en.c.summaryOf(bs[0].fn).ZeroizedParams {
+					if z {
+						addParam(idx)
+					}
+				}
+			} else if bs[0].lit != nil {
+				for _, cap := range en.litSummaryOf(bs[0].lit).zeroizedCaptures {
+					add(cap)
+				}
+			}
+		}
+	}
+}
+
+// releaseTransfer is the backward must-transfer: a fact "p is released
+// on every path from here to exit" is generated by sink calls, by
+// returning p to the caller (ownership transfer), and by deferred sinks
+// (registered here, guaranteed to run at exit); it is killed by a full
+// reassignment of p — the release below refers to the new value, not
+// the one p held above. Function-literal bodies are NOT descended into:
+// a sink inside a closure only counts through an analyzed call to it.
+func (en *engine) releaseTransfer(n ast.Node, fs facts) {
+	// Kill first (reverse execution order: the assignment happens after
+	// its RHS is evaluated, so walking backward it is undone first).
+	if as, ok := n.(*ast.AssignStmt); ok {
+		// Alias credit: after `b := a` (or `a = a[:n]`) both sides share a
+		// backing array, so a release guaranteed below the assignment also
+		// releases the right-hand side's array. Collect before the kill.
+		var alias []path
+		if len(as.Lhs) == len(as.Rhs) {
+			for i := range as.Lhs {
+				if lp, ok := en.pathOf(as.Lhs[i]); ok && fs.Has(lp) {
+					if rp, ok := en.pathOf(as.Rhs[i]); ok {
+						alias = append(alias, rp)
+					}
+				}
+			}
+		}
+		for _, l := range as.Lhs {
+			switch ast.Unparen(l).(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+				if p, ok := en.pathOf(l); ok {
+					for q := range fs {
+						if q.root == p.root && strings.HasPrefix(q.sel, p.sel) {
+							fs.Remove(q)
+						}
+					}
+				}
+			}
+		}
+		for _, p := range alias {
+			fs.Add(p)
+		}
+	}
+	switch s := n.(type) {
+	case *ast.ReturnStmt:
+		if len(s.Results) == 0 {
+			for _, p := range en.namedResults {
+				fs.Add(p)
+			}
+		}
+		for _, r := range s.Results {
+			if p, ok := en.pathOf(r); ok {
+				fs.Add(p)
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred direct sink call releases the value its argument
+		// held at registration; a deferred closure zeroizing a capture
+		// releases it only if the capture is single-assignment (the
+		// closure reads the variable at exit time).
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			for _, cap := range en.litSummaryOf(lit).zeroizedCaptures {
+				if en.writes[cap.root] <= 1 {
+					fs.Add(cap)
+				}
+			}
+			return
+		}
+		en.releaseArgs(s.Call, func(p path) { fs.Add(p) })
+		return
+	}
+	en.walkNoLit(n, func(m ast.Node) {
+		if call, ok := m.(*ast.CallExpr); ok {
+			en.releaseArgs(call, func(p path) { fs.Add(p) })
+		}
+	})
+}
+
+// walkNoLit walks a node's subtree without entering function literals.
+func (en *engine) walkNoLit(n ast.Node, fn func(ast.Node)) {
+	dataflow.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if m != nil {
+			fn(m)
+		}
+		return true
+	})
+}
+
+// litSummaryOf computes (and memoizes per body) which captured
+// variables a function literal zeroizes on all its paths, and whether
+// its results carry key material.
+func (en *engine) litSummaryOf(lit *ast.FuncLit) *litSummary {
+	if ls, ok := en.lits[lit]; ok {
+		return ls
+	}
+	ls := &litSummary{taintedResults: map[int]string{}}
+	en.lits[lit] = ls // pre-publish: a self-calling closure widens to "no effect"
+
+	sub := newEngine(en.c, en.info, nil, lit)
+	cfg := dataflow.New(lit.Body)
+	outs := dataflow.Backward(cfg, nil, sub.releaseTransfer)
+	entry := entryFacts(cfg, outs, sub.releaseTransfer)
+	var caps []path
+	for p := range entry {
+		if p.root.Pos() < lit.Pos() || p.root.Pos() > lit.End() {
+			caps = append(caps, p)
+		}
+	}
+	sort.Slice(caps, func(i, j int) bool { return caps[i].String() < caps[j].String() })
+	ls.zeroizedCaptures = caps
+
+	ins := dataflow.Forward(cfg, nil, sub.taintTransfer)
+	sub.collectResultTaint(cfg, ins, ls.taintedResults)
+	return ls
+}
+
+// entryFacts folds the entry block's nodes backward onto its out set,
+// yielding the facts in force at the very start of the function — for
+// the release analysis, the set of paths released on every path from
+// entry to exit.
+func entryFacts(cfg *dataflow.CFG, outs []facts, transfer dataflow.Transfer[path]) facts {
+	fs := outs[cfg.Entry.Index].Clone()
+	for i := len(cfg.Entry.Nodes) - 1; i >= 0; i-- {
+		transfer(cfg.Entry.Nodes[i], fs)
+	}
+	return fs
+}
+
+// collectResultTaint walks every return statement under the forward
+// facts in force there and records which results may carry key material.
+func (en *engine) collectResultTaint(cfg *dataflow.CFG, ins []facts, out map[int]string) {
+	dataflow.Walk(cfg, ins, en.taintTransfer, func(n ast.Node, fs facts) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		if len(ret.Results) == 0 {
+			for _, p := range en.namedResults {
+				if hit, ok := lookup(fs, p); ok {
+					idx := en.resultIndex[p.root]
+					if _, have := out[idx]; !have {
+						out[idx] = en.originOf(hit)
+					}
+				}
+			}
+			return
+		}
+		for i, r := range ret.Results {
+			if o, ok := en.taintedExpr(r, fs); ok {
+				if _, have := out[i]; !have {
+					out[i] = o
+				}
+			}
+		}
+	})
+}
+
+// analyzeForSummary fills sum from one pass over the function body:
+// parameters and the receiver are seeded as tainted with sentinel
+// origins, result taint is collected at returns and classified into
+// source chains vs. parameter/receiver flows, and the backward release
+// pass proves which byte-slice parameters are zeroized on all paths.
+func (en *engine) analyzeForSummary(decl *ast.FuncDecl, sum *Summary) {
+	seed := facts{}
+	seedVar := func(v *types.Var, tag string) {
+		if v == nil || !seedable(v.Type()) {
+			return
+		}
+		p := path{v, ""}
+		seed.Add(p)
+		en.addOrigin(p, paramOriginPrefix+tag)
+	}
+	if en.sig != nil {
+		for i := 0; i < en.sig.Params().Len(); i++ {
+			seedVar(en.sig.Params().At(i), fmt.Sprintf("p%d", i))
+		}
+		seedVar(en.sig.Recv(), "recv")
+	}
+
+	cfg := dataflow.New(decl.Body)
+	ins := dataflow.Forward(cfg, seed, en.taintTransfer)
+	raw := map[int]string{}
+	en.collectResultTaint(cfg, ins, raw)
+	fnName := ""
+	if en.sig != nil {
+		if obj, ok := en.info.Defs[decl.Name].(*types.Func); ok {
+			fnName = prettyName(obj)
+		}
+	}
+	for idx, origin := range raw {
+		tag, isParam := strings.CutPrefix(origin, paramOriginPrefix)
+		if !isParam {
+			// Keep a marker-declared origin if one is already present;
+			// extend body-derived chains with this function's own name so
+			// callers see the full provenance path.
+			if _, have := sum.TaintedResults[idx]; !have {
+				if fnName != "" {
+					origin += " → " + fnName
+				}
+				sum.TaintedResults[idx] = origin
+			}
+			continue
+		}
+		// "p3" or "p0 via enc" → parameter flow; "recv..." → receiver flow.
+		tag, _, _ = strings.Cut(tag, " ")
+		if tag == "recv" {
+			sum.RecvFlows = append(sum.RecvFlows, idx)
+			continue
+		}
+		var pi int
+		if _, err := fmt.Sscanf(tag, "p%d", &pi); err == nil {
+			sum.ParamFlows[pi] = append(sum.ParamFlows[pi], idx)
+		}
+	}
+	sort.Ints(sum.RecvFlows)
+	for pi := range sum.ParamFlows {
+		sort.Ints(sum.ParamFlows[pi])
+	}
+
+	outs := dataflow.Backward(cfg, nil, en.releaseTransfer)
+	entry := entryFacts(cfg, outs, en.releaseTransfer)
+	if en.sig != nil {
+		for i := 0; i < en.sig.Params().Len(); i++ {
+			v := en.sig.Params().At(i)
+			if v != nil && isByteSlice(v.Type()) && entry.Has(path{v, ""}) {
+				sum.ZeroizedParams[i] = true
+			}
+		}
+	}
+}
+
+// seedable reports whether a parameter's type can carry key bytes the
+// path language tracks: byte slices, strings, and structs/pointers that
+// may hold them (seeded wholesale; field reads inherit via lookup).
+func seedable(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return true
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Pointer, *types.Struct, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// resultIsByteSlice reports whether a call's idx-th result is a byte
+// slice — the only result kind that carries a scrub obligation.
+func (en *engine) resultIsByteSlice(call *ast.CallExpr, idx int) bool {
+	tv, ok := en.info.Types[call]
+	if !ok {
+		return false
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		return idx < tup.Len() && isByteSlice(tup.At(idx).Type())
+	}
+	return idx == 0 && isByteSlice(tv.Type)
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

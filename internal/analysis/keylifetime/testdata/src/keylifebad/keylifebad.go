@@ -1,0 +1,80 @@
+// Package keylifebad exercises the intraprocedural leak patterns the
+// key-lifetime verifier must flag: bindings that miss a release on at
+// least one path, results discarded where no release can ever attach,
+// and stores the verifier cannot prove anything about.
+package keylifebad
+
+// newKey mints fixture key material.
+//
+//memlint:source result=0
+func newKey() []byte { return nil }
+
+// wipe is the fixture's zeroizing release.
+//
+//memlint:sink param=0
+func wipe(b []byte) { clear(b) }
+
+// use consumes bytes without releasing them.
+func use(b []byte) {}
+
+var table = map[int][]byte{}
+
+// Straight binds key material and never releases it.
+func Straight() {
+	k := newKey() // want `key material in k \(keylifebad\.newKey\) is not zeroized on every path to return`
+	use(k)
+}
+
+// Discarded throws the key away where nothing can zeroize it.
+func Discarded() {
+	_ = newKey() // want `key material \(keylifebad\.newKey\) is discarded into _`
+}
+
+// Anonymous consumes the key without ever binding it.
+func Anonymous() {
+	use(newKey()) // want `result of keylifebad\.newKey carries key material \(keylifebad\.newKey\) but is consumed anonymously`
+}
+
+// OneBranch releases on the then-branch only; the fallthrough leaks.
+func OneBranch(cond bool) {
+	k := newKey() // want `key material in k \(keylifebad\.newKey\) is not zeroized on every path`
+	if cond {
+		wipe(k)
+	}
+	use(k)
+}
+
+// EarlyReturn releases at the end but leaks through the early return.
+func EarlyReturn(cond bool) {
+	k := newKey() // want `key material in k \(keylifebad\.newKey\) is not zeroized on every path`
+	if cond {
+		return
+	}
+	wipe(k)
+}
+
+// MapEntry stores the key where the verifier cannot track it.
+func MapEntry() {
+	table[0] = newKey() // want `key material \(keylifebad\.newKey\) is stored where the lifetime verifier cannot prove a zeroize`
+}
+
+// Reassigned overwrites the first key before releasing: only the second
+// binding reaches the wipe, so the first is flagged.
+func Reassigned() {
+	k := newKey() // want `key material in k \(keylifebad\.newKey\) is not zeroized on every path`
+	k = newKey()
+	wipe(k)
+}
+
+// DeferTooLate registers the release after an error-style early return,
+// so the early path leaks. (The fix is `defer wipe(k)` directly after
+// the binding: wiping a nil slice is a no-op.)
+func DeferTooLate(cond bool) error {
+	k := newKey() // want `key material in k \(keylifebad\.newKey\) is not zeroized on every path`
+	if cond {
+		return nil
+	}
+	defer wipe(k)
+	use(k)
+	return nil
+}

@@ -1,0 +1,58 @@
+// Package keylifefield exercises the field-sensitive fact domain: one
+// struct member leaking must not be masked by a sibling's release, and
+// slice elements share the single [*] summary position.
+package keylifefield
+
+// newKey mints fixture key material.
+//
+//memlint:source result=0
+func newKey() []byte { return nil }
+
+// wipe is the fixture's zeroizing release.
+//
+//memlint:sink param=0
+func wipe(b []byte) { clear(b) }
+
+// use consumes bytes without releasing them.
+func use(b []byte) {}
+
+// keypair models a struct holding separate key components.
+type keypair struct {
+	d []byte
+	p []byte
+}
+
+// CleanFields releases each member separately.
+func CleanFields() {
+	var kp keypair
+	kp.d = newKey()
+	kp.p = newKey()
+	use(kp.d)
+	wipe(kp.d)
+	wipe(kp.p)
+}
+
+// LeakOneField releases kp.p but not kp.d: the member facts are
+// distinct, so the sibling's release must not credit kp.d.
+func LeakOneField() {
+	var kp keypair
+	kp.d = newKey() // want `key material in kp\.d \(keylifefield\.newKey\) is not zeroized on every path`
+	kp.p = newKey()
+	use(kp.d)
+	wipe(kp.p)
+}
+
+// CleanElement stores into a slice element and releases an element: all
+// index expressions share the [*] position (releasing any element is
+// accepted as releasing the stored one — DESIGN.md §6).
+func CleanElement(xs [][]byte) {
+	xs[0] = newKey()
+	use(xs[0])
+	wipe(xs[0])
+}
+
+// LeakElement stores into an element and never releases any element.
+func LeakElement(xs [][]byte) {
+	xs[0] = newKey() // want `key material in xs\[\*\] \(keylifefield\.newKey\) is not zeroized on every path`
+	use(xs[0])
+}

@@ -1,0 +1,176 @@
+// Package keylifeinter exercises the interprocedural machinery: taint
+// and release credit flowing through callee summaries — direct calls,
+// recursion, mutual recursion, method values, and closures capturing
+// tainted locals — each in a clean and a leaking variant.
+package keylifeinter
+
+// newKey mints fixture key material.
+//
+//memlint:source result=0
+func newKey() []byte { return nil }
+
+// wipe is the fixture's zeroizing release.
+//
+//memlint:sink param=0
+func wipe(b []byte) { clear(b) }
+
+// use consumes bytes without releasing them.
+func use(b []byte) {}
+
+// mint wraps the source: its summary carries the provenance chain.
+func mint() []byte { return newKey() }
+
+// LeakChain pins the acceptance-criterion diagnostic: a missed zeroize
+// across a two-function call chain, reported with the full
+// source-to-binding path.
+func LeakChain() {
+	buf := mint() // want `key material in buf \(keylifeinter\.newKey → keylifeinter\.mint\) is not zeroized on every path to return`
+	use(buf)
+}
+
+// CleanChain is the same chain with the release in place.
+func CleanChain() {
+	buf := mint()
+	defer wipe(buf)
+	use(buf)
+}
+
+// shred zeroizes its parameter through the sink, so its summary records
+// the parameter as zeroized and callers get release credit.
+func shred(b []byte) {
+	use(b)
+	wipe(b)
+}
+
+// CleanViaCallee releases through a zeroizing (unmarked) callee.
+func CleanViaCallee() {
+	k := newKey()
+	use(k)
+	shred(k)
+}
+
+// double flows its parameter into its result (summary ParamFlows).
+func double(b []byte) []byte { return append(b, b...) }
+
+// LeakParamFlow releases the input but not the derived copy.
+func LeakParamFlow() {
+	k := newKey()
+	defer wipe(k)
+	d := double(k) // want `key material in d \(keylifeinter\.newKey via keylifeinter\.double\) is not zeroized on every path`
+	use(d)
+}
+
+// CleanParamFlow releases both the input and the derived copy.
+func CleanParamFlow() {
+	k := newKey()
+	defer wipe(k)
+	d := double(k)
+	defer wipe(d)
+	use(d)
+}
+
+// expand is directly recursive; the fixpoint iteration resolves its
+// parameter-to-result flow.
+func expand(b []byte, n int) []byte {
+	if n == 0 {
+		return b
+	}
+	return expand(append(b, 0), n-1)
+}
+
+// LeakRecursion loses the recursively grown copy.
+func LeakRecursion() {
+	k := newKey()
+	defer wipe(k)
+	g := expand(k, 2) // want `key material in g .* is not zeroized on every path`
+	use(g)
+}
+
+// CleanRecursion releases the recursively grown copy too.
+func CleanRecursion() {
+	k := newKey()
+	defer wipe(k)
+	g := expand(k, 2)
+	defer wipe(g)
+	use(g)
+}
+
+// ping/pong are mutually recursive: the cycle is widened, so a tainted
+// argument conservatively taints the result.
+func ping(b []byte, n int) []byte {
+	if n == 0 {
+		return b
+	}
+	return pong(b, n-1)
+}
+
+func pong(b []byte, n int) []byte {
+	if n == 0 {
+		return b
+	}
+	return ping(b, n-1)
+}
+
+// LeakMutualRecursion loses the widened result.
+func LeakMutualRecursion() {
+	k := newKey()
+	defer wipe(k)
+	g := ping(k, 3) // want `key material in g .* is not zeroized on every path`
+	use(g)
+}
+
+// CleanMutualRecursion releases the widened result.
+func CleanMutualRecursion() {
+	k := newKey()
+	defer wipe(k)
+	g := ping(k, 3)
+	defer wipe(g)
+	use(g)
+}
+
+// vault carries a marked source method for the method-value cases.
+type vault struct{}
+
+// Export mints key material from the vault.
+//
+//memlint:source result=0
+func (vault) Export() []byte { return nil }
+
+// LeakMethodValue calls the source through a bound method value.
+func LeakMethodValue(v vault) {
+	f := v.Export
+	k := f() // want `key material in k \(keylifeinter\.Export\) is not zeroized on every path`
+	use(k)
+}
+
+// CleanMethodValue releases the method-value result.
+func CleanMethodValue(v vault) {
+	f := v.Export
+	k := f()
+	defer wipe(k)
+	use(k)
+}
+
+// LeakClosureCapture lets a closure capture the key without any path
+// releasing it.
+func LeakClosureCapture() {
+	k := newKey() // want `key material in k \(keylifeinter\.newKey\) is not zeroized on every path`
+	done := func() { use(k) }
+	done()
+}
+
+// CleanClosureRelease releases through a called closure whose body
+// zeroizes the capture (single, unambiguous binding).
+func CleanClosureRelease() {
+	k := newKey()
+	done := func() { wipe(k) }
+	use(k)
+	done()
+}
+
+// CleanDeferredClosureCapture releases through a deferred closure.
+func CleanDeferredClosureCapture() {
+	k := newKey()
+	defer func() { wipe(k) }()
+	use(k)
+}

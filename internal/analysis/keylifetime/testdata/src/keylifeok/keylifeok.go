@@ -1,0 +1,121 @@
+// Package keylifeok holds the clean counterparts of the keylifebad
+// patterns: every binding of key material is provably released on all
+// paths — by a sink call, the clear builtin, a defer, a deferred
+// closure, an alias, or by returning it (ownership transfer). None of
+// these lines may produce a diagnostic.
+package keylifeok
+
+// newKey mints fixture key material.
+//
+//memlint:source result=0
+func newKey() []byte { return nil }
+
+// newKeyErr mints key material with an error, like pemfile.Decode.
+//
+//memlint:source result=0
+func newKeyErr() ([]byte, error) { return nil, nil }
+
+// wipe is the fixture's zeroizing release.
+//
+//memlint:sink param=0
+func wipe(b []byte) { clear(b) }
+
+// use consumes bytes without releasing them.
+func use(b []byte) {}
+
+// SinkAtEnd releases with the marked sink.
+func SinkAtEnd() {
+	k := newKey()
+	use(k)
+	wipe(k)
+}
+
+// ClearBuiltin releases with the clear builtin.
+func ClearBuiltin() {
+	k := newKey()
+	use(k)
+	clear(k)
+}
+
+// ReturnTransfer hands the obligation to the caller.
+func ReturnTransfer() []byte {
+	k := newKey()
+	use(k)
+	return k
+}
+
+// DeferSink releases via a directly deferred sink call.
+func DeferSink() {
+	k := newKey()
+	defer wipe(k)
+	use(k)
+}
+
+// DeferBeforeErrCheck is the canonical error-handling shape: the defer
+// is registered before the error check, so the error path releases too
+// (wiping a nil slice is a no-op).
+func DeferBeforeErrCheck() error {
+	k, err := newKeyErr()
+	defer wipe(k)
+	if err != nil {
+		return err
+	}
+	use(k)
+	return nil
+}
+
+// DeferredClosure releases via a deferred closure zeroizing its
+// single-assignment capture.
+func DeferredClosure() {
+	k := newKey()
+	defer func() {
+		wipe(k)
+	}()
+	use(k)
+}
+
+// AliasCredit releases through an alias of the binding.
+func AliasCredit() {
+	k := newKey()
+	b := k
+	use(k)
+	wipe(b)
+}
+
+// BothBranches releases on every branch of the if.
+func BothBranches(cond bool) {
+	k := newKey()
+	if cond {
+		wipe(k)
+	} else {
+		clear(k)
+	}
+}
+
+// BranchOrReturn releases on the fallthrough and transfers ownership on
+// the early path.
+func BranchOrReturn(cond bool) []byte {
+	k := newKey()
+	if cond {
+		return k
+	}
+	wipe(k)
+	return nil
+}
+
+// AppendBound tracks taint through append and conversions; the combined
+// buffer is released.
+func AppendBound() {
+	buf := append([]byte(nil), newKey()...)
+	use(buf)
+	wipe(buf)
+}
+
+// LoopRelease releases inside every loop iteration before rebinding.
+func LoopRelease(n int) {
+	for i := 0; i < n; i++ {
+		k := newKey()
+		use(k)
+		wipe(k)
+	}
+}

@@ -1,0 +1,171 @@
+// Package lintcache is memlint's on-disk result cache: the findings for
+// one checked package, keyed by everything that can influence them — the
+// analyzer-suite identity, the Go toolchain version, the flag state, the
+// package's own source bytes, and the source bytes of every
+// module-internal package in its transitive import closure (the
+// interprocedural summaries mean a change in a dependency can change a
+// dependent's findings). A cold run therefore reproduces exactly what a
+// warm run reports: a hit replays stored findings, a miss re-analyzes
+// and stores, and any key ingredient changing simply misses.
+//
+// Entries are JSON files named by the key hash under the cache
+// directory (by default .memlintcache at the module root, gitignored).
+// All failures are soft: an unreadable or corrupt entry is a miss, and
+// a failed store leaves the run's findings unaffected.
+package lintcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one serialized diagnostic. File is module-root-relative so
+// the cache survives the tree being moved.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+}
+
+// Entry is the cached result for one (package, key) pair.
+type Entry struct {
+	// PkgPath records which package produced the findings, for
+	// debuggability of the cache directory; the key already encodes it.
+	PkgPath  string    `json:"pkgPath"`
+	Findings []Finding `json:"findings"`
+}
+
+// Cache reads and writes entries under Dir.
+type Cache struct {
+	Dir string
+}
+
+// entryPath maps a key to its file.
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.Dir, key+".json")
+}
+
+// Lookup returns the stored entry for key, or ok=false on any miss
+// (absent, unreadable, corrupt).
+func (c *Cache) Lookup(key string) (*Entry, bool) {
+	data, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	return &e, true
+}
+
+// Store writes the entry for key, creating Dir as needed. The write is
+// atomic (temp file + rename) so a concurrent reader never sees a
+// truncated entry.
+func (c *Cache) Store(key string, e *Entry) error {
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(e, "", "\t")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.Dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lintcache: writing %s: %v, %v", key, werr, cerr)
+	}
+	return os.Rename(tmp.Name(), c.entryPath(key))
+}
+
+// Key hashes the full influence set of one package's findings:
+//
+//   - salt: suite identity, toolchain version, flag state — anything the
+//     caller knows changes results wholesale;
+//   - pkgPath and the content of files (the package's own sources);
+//   - the content of every module-internal package reachable through
+//     imports, located on disk by stripping modulePath from the import
+//     path under moduleRoot. Only non-test .go files are hashed there:
+//     dependency test files never enter a dependent's analysis.
+//
+// Stdlib dependencies are covered by the toolchain version in the salt.
+func Key(salt []string, pkgPath string, files []string, imports []*types.Package, moduleRoot, modulePath string) (string, error) {
+	h := sha256.New()
+	for _, s := range salt {
+		fmt.Fprintf(h, "salt %s\n", s)
+	}
+	fmt.Fprintf(h, "pkg %s\n", pkgPath)
+
+	sorted := append([]string(nil), files...)
+	sort.Strings(sorted)
+	for _, f := range sorted {
+		if err := hashFile(h, "file", f); err != nil {
+			return "", err
+		}
+	}
+
+	deps := map[string]bool{}
+	collectInternalDeps(imports, modulePath, deps)
+	depPaths := make([]string, 0, len(deps))
+	for p := range deps {
+		depPaths = append(depPaths, p)
+	}
+	sort.Strings(depPaths)
+	for _, p := range depPaths {
+		dir := filepath.Join(moduleRoot, strings.TrimPrefix(strings.TrimPrefix(p, modulePath), "/"))
+		names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			return "", err
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			if err := hashFile(h, "dep "+p, name); err != nil {
+				return "", err
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// collectInternalDeps walks the import DAG accumulating module-internal
+// package paths.
+func collectInternalDeps(imports []*types.Package, modulePath string, seen map[string]bool) {
+	for _, imp := range imports {
+		p := imp.Path()
+		if p != modulePath && !strings.HasPrefix(p, modulePath+"/") {
+			continue
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		collectInternalDeps(imp.Imports(), modulePath, seen)
+	}
+}
+
+func hashFile(h interface{ Write(p []byte) (int, error) }, tag, name string) error {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return fmt.Errorf("lintcache: %w", err)
+	}
+	fmt.Fprintf(h, "%s %s %d\n", tag, filepath.Base(name), len(data))
+	h.Write(data)
+	return nil
+}

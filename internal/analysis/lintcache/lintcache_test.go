@@ -1,0 +1,116 @@
+package lintcache_test
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memshield/internal/analysis/lintcache"
+)
+
+// fakeModule lays out a module root with one target package file and one
+// internal dependency package.
+func fakeModule(t *testing.T) (root, pkgFile string) {
+	t.Helper()
+	root = t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "dep"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	pkgFile = filepath.Join(root, "p.go")
+	writeFile(t, pkgFile, "package p\n")
+	writeFile(t, filepath.Join(root, "dep", "dep.go"), "package dep\n")
+	return root, pkgFile
+}
+
+func writeFile(t *testing.T, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func keyOf(t *testing.T, salt []string, root, pkgFile string) string {
+	t.Helper()
+	imports := []*types.Package{types.NewPackage("mod/dep", "dep")}
+	k, err := lintcache.Key(salt, "mod/p", []string{pkgFile}, imports, root, "mod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestKeySensitivity checks the key changes with every ingredient that
+// can change a finding — own sources, dependency sources, salt — and is
+// stable when nothing changed.
+func TestKeySensitivity(t *testing.T) {
+	root, pkgFile := fakeModule(t)
+	salt := []string{"suite=1"}
+
+	base := keyOf(t, salt, root, pkgFile)
+	if again := keyOf(t, salt, root, pkgFile); again != base {
+		t.Error("key not deterministic for unchanged inputs")
+	}
+
+	writeFile(t, pkgFile, "package p // edited\n")
+	if keyOf(t, salt, root, pkgFile) == base {
+		t.Error("key ignored a change to the package's own source")
+	}
+	writeFile(t, pkgFile, "package p\n")
+
+	writeFile(t, filepath.Join(root, "dep", "dep.go"), "package dep // edited\n")
+	if keyOf(t, salt, root, pkgFile) == base {
+		t.Error("key ignored a change to a module-internal dependency")
+	}
+	writeFile(t, filepath.Join(root, "dep", "dep.go"), "package dep\n")
+
+	if keyOf(t, []string{"suite=2"}, root, pkgFile) == base {
+		t.Error("key ignored a salt change")
+	}
+
+	if keyOf(t, salt, root, pkgFile) != base {
+		t.Error("key did not return to baseline after restoring the sources")
+	}
+}
+
+// TestKeyIgnoresDepTestFiles checks dependency _test.go files stay out
+// of the key: they never enter a dependent's analysis.
+func TestKeyIgnoresDepTestFiles(t *testing.T) {
+	root, pkgFile := fakeModule(t)
+	salt := []string{"s"}
+	base := keyOf(t, salt, root, pkgFile)
+	writeFile(t, filepath.Join(root, "dep", "dep_test.go"), "package dep\n")
+	if keyOf(t, salt, root, pkgFile) != base {
+		t.Error("dependency test file changed the key")
+	}
+}
+
+// TestStoreLookup pins the roundtrip plus the soft-failure contract:
+// absent and corrupt entries are misses, never errors.
+func TestStoreLookup(t *testing.T) {
+	c := &lintcache.Cache{Dir: filepath.Join(t.TempDir(), "cache")}
+	if _, ok := c.Lookup("missing"); ok {
+		t.Error("lookup hit on an empty cache")
+	}
+	in := &lintcache.Entry{
+		PkgPath: "mod/p",
+		Findings: []lintcache.Finding{
+			{File: "p.go", Line: 3, Col: 7, Message: "boom", Analyzer: "det"},
+		},
+	}
+	if err := c.Store("k1", in); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := c.Lookup("k1")
+	if !ok {
+		t.Fatal("stored entry not found")
+	}
+	if out.PkgPath != in.PkgPath || len(out.Findings) != 1 || out.Findings[0] != in.Findings[0] {
+		t.Errorf("roundtrip mismatch: %+v", out)
+	}
+
+	writeFile(t, filepath.Join(c.Dir, "bad.json"), "{not json")
+	if _, ok := c.Lookup("bad"); ok {
+		t.Error("corrupt entry treated as a hit")
+	}
+}

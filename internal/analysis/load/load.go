@@ -29,6 +29,20 @@
 // markers live in the packages that own the APIs (internal/crypto/*,
 // internal/ssl), and Result.Sources hands the accumulated table to the
 // keycopy analyzer — no more hardcoded source list in the analyzer.
+//
+// The dual marker declares a zeroizing release:
+//
+//	//memlint:sink param=N
+//
+// promises that the function clears the byte slice passed as its N-th
+// parameter before returning (internal/scrub.Bytes is the canonical
+// sink). Result.Sinks hands the table to the keylifetime analyzer.
+//
+// The session additionally keeps a whole-program function index (full
+// go/types name → declaration + type info) and a summary cache, so the
+// interprocedural keylifetime analyzer can walk callee bodies bottom-up
+// and memoize per-function taint/zeroize summaries once per process —
+// the same amortization the type-check memo provides (ROADMAP item 4).
 package load
 
 import (
@@ -87,17 +101,82 @@ type Result struct {
 	// //memlint:source marker — in any package type-checked by this
 	// session so far — to the index of its tainted result.
 	Sources map[string]int
+	// Sinks maps the go/types full name of every function carrying a
+	// //memlint:sink marker to the index of the parameter it zeroizes.
+	Sinks map[string]int
+	// ModuleRoot is the absolute module root directory the load resolved
+	// against; ModulePath is the module path from its go.mod. Cache
+	// layers key package content by mapping import paths onto the tree
+	// with these.
+	ModuleRoot string
+	ModulePath string
+
+	ses *session
+}
+
+// A FuncInfo locates one function declaration the session type-checked,
+// with the type info of its declaring package.
+type FuncInfo struct {
+	Decl    *ast.FuncDecl
+	Info    *types.Info
+	PkgPath string
+}
+
+// LookupFunc resolves a go/types full function name (as types.Func.FullName
+// renders it) to its declaration, searching every package the session has
+// type-checked — targets and transitively imported module packages alike.
+// Standard-library functions are not indexed (the source importer owns
+// them); callers treat an absent body conservatively.
+func (r *Result) LookupFunc(fullName string) (FuncInfo, bool) {
+	r.ses.mu.Lock()
+	defer r.ses.mu.Unlock()
+	fi, ok := r.ses.funcs[fullName]
+	return fi, ok
+}
+
+// Summaries returns the session-wide summary cache: an opaque store the
+// interprocedural analyzers use to memoize per-function facts across every
+// Load sharing the session. Keys are full function names; values are
+// whatever the analyzer stores (the cache does not interpret them).
+func (r *Result) Summaries() *SummaryCache { return &r.ses.summaries }
+
+// A SummaryCache memoizes per-function analysis facts for the lifetime of
+// a type-checking session.
+type SummaryCache struct {
+	mu sync.Mutex
+	m  map[string]any
+}
+
+// Get returns the cached value for key, if any.
+func (c *SummaryCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// Put stores the value for key, replacing any previous one.
+func (c *SummaryCache) Put(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = map[string]any{}
+	}
+	c.m[key] = v
 }
 
 // session is the process-wide type-checking state shared by every Load
 // with the same module root and fixture root: one FileSet, one stdlib
 // source importer, one package memo, one source-marker table.
 type session struct {
-	mu      sync.Mutex
-	fset    *token.FileSet
-	std     types.Importer
-	pkgs    map[string]*Package // by PkgPath (+" [tests]" for augmented variants)
-	sources map[string]int
+	mu        sync.Mutex
+	fset      *token.FileSet
+	std       types.Importer
+	pkgs      map[string]*Package // by PkgPath (+" [tests]" for augmented variants)
+	sources   map[string]int
+	sinks     map[string]int
+	funcs     map[string]FuncInfo // full function name → declaration
+	summaries SummaryCache
 }
 
 var (
@@ -117,6 +196,8 @@ func sessionFor(moduleRoot, fixtureRoot string) *session {
 			std:     importer.ForCompiler(fset, "source", nil),
 			pkgs:    map[string]*Package{},
 			sources: map[string]int{},
+			sinks:   map[string]int{},
+			funcs:   map[string]FuncInfo{},
 		}
 		sessions[key] = ses
 	}
@@ -182,7 +263,14 @@ func (cfg Config) Load(patterns ...string) (*Result, error) {
 	for k, v := range ses.sources {
 		sources[k] = v
 	}
-	return &Result{Pkgs: out, Fset: ses.fset, Sources: sources}, nil
+	sinks := make(map[string]int, len(ses.sinks))
+	for k, v := range ses.sinks {
+		sinks[k] = v
+	}
+	return &Result{
+		Pkgs: out, Fset: ses.fset, Sources: sources, Sinks: sinks,
+		ModuleRoot: root, ModulePath: modulePath, ses: ses,
+	}, nil
 }
 
 // FindModuleRoot walks upward from the working directory to go.mod.
@@ -533,7 +621,7 @@ func (ld *loader) typeCheck(path, dir string, files []*ast.File, testFiles map[*
 	if err != nil {
 		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
 	}
-	if err := ld.collectSources(files, info); err != nil {
+	if err := ld.collectSources(path, files, info); err != nil {
 		return nil, fmt.Errorf("load: %s: %w", path, err)
 	}
 	return &Package{
@@ -551,40 +639,67 @@ func (ld *loader) typeCheck(path, dir string, files []*ast.File, testFiles map[*
 //	//memlint:source result=N
 var sourceRe = regexp.MustCompile(`^//memlint:source\s+result=(\d+)\s*$`)
 
+// sinkRe matches the zeroizing-release marker:
+//
+//	//memlint:sink param=N
+var sinkRe = regexp.MustCompile(`^//memlint:sink\s+param=(\d+)\s*$`)
+
 // collectSources records every marked function of the just-checked files
-// into the session's source table, validating that the named result
-// exists and is a byte slice (the only shape the taint rules model).
-func (ld *loader) collectSources(files []*ast.File, info *types.Info) error {
+// into the session's source and sink tables, validating that the named
+// result or parameter exists and is a byte slice (the only shape the
+// taint rules model), and indexes every function declaration for the
+// interprocedural summary walk.
+func (ld *loader) collectSources(path string, files []*ast.File, info *types.Info) error {
 	for _, f := range files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil {
+			if !ok {
 				continue
 			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if fd.Body != nil {
+				ld.ses.funcs[fn.FullName()] = FuncInfo{Decl: fd, Info: info, PkgPath: path}
+			}
+			if fd.Doc == nil {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
 			for _, c := range fd.Doc.List {
-				m := sourceRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
+				if m := sourceRe.FindStringSubmatch(c.Text); m != nil {
+					idx, err := strconv.Atoi(m[1])
+					if err != nil {
+						return fmt.Errorf("bad //memlint:source marker on %s: %v", fn.FullName(), err)
+					}
+					if idx >= sig.Results().Len() {
+						return fmt.Errorf("//memlint:source result=%d on %s: function has %d result(s)",
+							idx, fn.FullName(), sig.Results().Len())
+					}
+					res := sig.Results().At(idx).Type()
+					if s, ok := res.Underlying().(*types.Slice); !ok || !isByte(s.Elem()) {
+						return fmt.Errorf("//memlint:source result=%d on %s: result type %s is not a byte slice",
+							idx, fn.FullName(), res)
+					}
+					ld.ses.sources[fn.FullName()] = idx
 				}
-				fn, ok := info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
+				if m := sinkRe.FindStringSubmatch(c.Text); m != nil {
+					idx, err := strconv.Atoi(m[1])
+					if err != nil {
+						return fmt.Errorf("bad //memlint:sink marker on %s: %v", fn.FullName(), err)
+					}
+					if idx >= sig.Params().Len() {
+						return fmt.Errorf("//memlint:sink param=%d on %s: function has %d parameter(s)",
+							idx, fn.FullName(), sig.Params().Len())
+					}
+					par := sig.Params().At(idx).Type()
+					if s, ok := par.Underlying().(*types.Slice); !ok || !isByte(s.Elem()) {
+						return fmt.Errorf("//memlint:sink param=%d on %s: parameter type %s is not a byte slice",
+							idx, fn.FullName(), par)
+					}
+					ld.ses.sinks[fn.FullName()] = idx
 				}
-				idx, err := strconv.Atoi(m[1])
-				if err != nil {
-					return fmt.Errorf("bad //memlint:source marker on %s: %v", fn.FullName(), err)
-				}
-				sig := fn.Type().(*types.Signature)
-				if idx >= sig.Results().Len() {
-					return fmt.Errorf("//memlint:source result=%d on %s: function has %d result(s)",
-						idx, fn.FullName(), sig.Results().Len())
-				}
-				res := sig.Results().At(idx).Type()
-				if s, ok := res.Underlying().(*types.Slice); !ok || !isByte(s.Elem()) {
-					return fmt.Errorf("//memlint:source result=%d on %s: result type %s is not a byte slice",
-						idx, fn.FullName(), res)
-				}
-				ld.ses.sources[fn.FullName()] = idx
 			}
 		}
 	}

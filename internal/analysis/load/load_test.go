@@ -141,3 +141,54 @@ func TestSessionCache(t *testing.T) {
 		t.Error("second Load re-type-checked ./internal/scan: memo not shared")
 	}
 }
+
+// TestSinkMarkers checks the //memlint:sink protocol: loading the scrub
+// package populates Result.Sinks with the zeroized-parameter index.
+func TestSinkMarkers(t *testing.T) {
+	root, err := load.FindModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := load.Config{ModuleRoot: root}
+	res, err := cfg.Load("./internal/scrub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := res.Sinks["memshield/internal/scrub.Bytes"]
+	if !ok {
+		t.Fatal("sink marker missing for scrub.Bytes")
+	}
+	if idx != 0 {
+		t.Errorf("scrub.Bytes zeroized param = %d, want 0", idx)
+	}
+}
+
+// TestMarkerValidation checks malformed markers fail the load with a
+// diagnostic naming the offending function, instead of silently
+// weakening the analyzers' fact tables.
+func TestMarkerValidation(t *testing.T) {
+	root, err := load.FindModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		pkg     string
+		wantErr string
+	}{
+		{"badsinkidx", "function has 1 parameter"},
+		{"badsinktype", "is not a byte slice"},
+		{"badsourcetype", "is not a byte slice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.pkg, func(t *testing.T) {
+			cfg := load.Config{ModuleRoot: root, FixtureRoot: "testdata"}
+			_, err := cfg.Load(tc.pkg)
+			if err == nil {
+				t.Fatalf("loading %s succeeded, want marker validation error", tc.pkg)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+// Package badsinkidx declares a sink marker whose parameter index is out
+// of range; loading it must fail marker validation.
+package badsinkidx
+
+// Wipe has one parameter, so param=1 is out of range.
+//
+//memlint:sink param=1
+func Wipe(b []byte) { clear(b) }

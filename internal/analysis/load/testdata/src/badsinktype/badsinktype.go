@@ -1,0 +1,8 @@
+// Package badsinktype declares a sink marker on a non-byte-slice
+// parameter; loading it must fail marker validation.
+package badsinktype
+
+// Wipe's parameter is a string, which cannot be zeroized in place.
+//
+//memlint:sink param=0
+func Wipe(s string) { _ = s }

@@ -1,0 +1,8 @@
+// Package badsourcetype declares a source marker on a non-byte-slice
+// result; loading it must fail marker validation.
+package badsourcetype
+
+// Key returns an int, which cannot carry key bytes.
+//
+//memlint:source result=0
+func Key() int { return 0 }

@@ -158,22 +158,44 @@ func (c *checker) transfer(n ast.Node, fs facts) {
 
 // checkBody runs the dataflow pass over one function body. seed carries a
 // closure's captured taint (nil for top-level functions).
+//
+// Deferred function literals execute at function exit, so their bodies
+// are analyzed in a dedicated exit-block pass under the exit block's
+// entry facts rather than the registration-point facts: a deferred
+// closure writing through a view taken after the defer statement would
+// otherwise escape the check. Argument expressions of the deferred call
+// are still checked at the DeferStmt node.
 func (c *checker) checkBody(body *ast.BlockStmt, seed facts) {
 	cfg := dataflow.New(body)
 	ins := dataflow.Forward(cfg, seed, c.transfer)
+	deferred := map[*ast.FuncLit]bool{}
+	for _, d := range cfg.Defers {
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			deferred[lit] = true
+		}
+	}
 	dataflow.Walk(cfg, ins, c.transfer, func(n ast.Node, fs facts) {
-		c.visit(n, fs)
+		c.visit(n, fs, deferred)
 	})
+	exit := ins[cfg.Exit.Index]
+	for _, d := range cfg.Defers {
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			c.checkBody(lit.Body, exit.Clone())
+		}
+	}
 }
 
 // visit reports violations inside one CFG node under its entry facts.
 // Function literals get their own recursive checkBody seeded with the
-// facts at their occurrence.
-func (c *checker) visit(n ast.Node, fs facts) {
+// facts at their occurrence — except deferred literals, which the
+// exit-block pass analyzes under exit facts.
+func (c *checker) visit(n ast.Node, fs facts, deferred map[*ast.FuncLit]bool) {
 	dataflow.Inspect(n, func(m ast.Node) bool {
 		switch m := m.(type) {
 		case *ast.FuncLit:
-			c.checkBody(m.Body, fs.Clone())
+			if !deferred[m] {
+				c.checkBody(m.Body, fs.Clone())
+			}
 			return false
 		case *ast.CallExpr:
 			if !c.mayView && c.isViewCall(m) {

@@ -31,3 +31,16 @@ func Aliased(m *mem.Memory) {
 	window := alias[2:8]
 	window[0] = 9 // want `element assignment writes through a physical-memory view`
 }
+
+// DeferredViewWrite pins the exit-block defer pass: the deferred closure
+// clears a capture that only aliases the physical array after the defer
+// statement, so the write is invisible at the registration point and
+// must be caught under the exit block's facts.
+func DeferredViewWrite(m *mem.Memory) {
+	var v []byte
+	defer func() {
+		clear(v) // want `clear writes through a physical-memory view`
+	}()
+	v, _ = m.View(0, 8) // want `Memory\.View aliases the physical-memory array`
+	_ = v
+}

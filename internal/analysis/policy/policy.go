@@ -30,6 +30,17 @@ const (
 	// the simulated machine must surface failures as errors the caller
 	// can fail closed on.
 	Panics
+	// RetainKeys (keylifetime): the package may hold key-material byte
+	// slices past function exit without zeroizing them, because retaining
+	// them IS its charter — the scanner keeps search patterns, the key
+	// finders keep what they recover, the attacks keep what they capture.
+	// Everywhere else the keylifetime verifier demands that every value
+	// tainted by a //memlint:source reaches a //memlint:sink (or is
+	// returned to the caller, transferring the obligation) on every
+	// control-flow path. Note this is deliberately NOT implied by
+	// KeyMaterial: the crypto and ssl packages own key bytes by charter
+	// but still must scrub their transient native copies.
+	RetainKeys
 )
 
 // An Entry grants one package (or subtree) its permissions. Why is
@@ -59,12 +70,13 @@ var Table = []Entry{
 		"PEM armor encode/decode of key payloads is its charter"},
 	{"memshield/internal/ssl", []Perm{KeyMaterial},
 		"simulated OpenSSL layer: BIGNUMs and key files are its subject"},
-	{"memshield/internal/scan", []Perm{PhysRead, KeyMaterial},
+	{"memshield/internal/scan", []Perm{PhysRead, KeyMaterial, RetainKeys},
 		"the scanmemory LKM analogue; retains search patterns by design"},
-	{"memshield/internal/keyfinder", []Perm{PhysRead, KeyMaterial},
+	{"memshield/internal/keyfinder", []Perm{PhysRead, KeyMaterial, RetainKeys},
 		"public-key-only recovery over captures; retains what it recovers"},
-	{"memshield/internal/attack/...", []Perm{PhysRead},
-		"the disclosure attacks themselves read captured memory"},
+	{"memshield/internal/attack/...", []Perm{PhysRead, RetainKeys},
+		"the disclosure attacks themselves read captured memory and keep " +
+			"what they harvest"},
 }
 
 // SimSyscallSurface lists the import-path prefixes of the simulated

@@ -16,6 +16,7 @@ import (
 
 	"memshield/internal/crypto/der"
 	"memshield/internal/crypto/pemfile"
+	"memshield/internal/scrub"
 )
 
 // PEMType is the armor label of a PKCS#1 private key.
@@ -198,7 +199,11 @@ func (k *PrivateKey) MarshalDER() []byte {
 //
 //memlint:source result=0
 func (k *PrivateKey) MarshalPEM() []byte {
-	return pemfile.Encode(PEMType, k.MarshalDER())
+	// The DER intermediate is a second full copy of the key; scrub it once
+	// the armor holds the bytes.
+	derBytes := k.MarshalDER()
+	defer scrub.Bytes(derBytes)
+	return pemfile.Encode(PEMType, derBytes)
 }
 
 // ParseDER decodes a PKCS#1 RSAPrivateKey.
@@ -244,6 +249,10 @@ func ParseDER(data []byte) (*PrivateKey, error) {
 // ParsePEM decodes a PEM-armored PKCS#1 private key file.
 func ParsePEM(data []byte) (*PrivateKey, error) {
 	blockType, body, err := pemfile.Decode(data)
+	// body is the de-armored DER — key material in a fresh native buffer;
+	// scrub it on every path out, decode and parse errors included
+	// (scrubbing a nil slice is a no-op).
+	defer scrub.Bytes(body)
 	if err != nil {
 		return nil, fmt.Errorf("rsakey: %w", err)
 	}

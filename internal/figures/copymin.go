@@ -9,6 +9,7 @@ import (
 	"memshield/internal/report"
 	"memshield/internal/runner"
 	"memshield/internal/scan"
+	"memshield/internal/scrub"
 	"memshield/internal/server/sshd"
 	"memshield/internal/stats"
 )
@@ -73,7 +74,9 @@ func CopyMinAblation(cfg Config) (*CopyMinResult, error) {
 		if err != nil {
 			return CopyMinRow{}, err
 		}
-		if err := k.FS().WriteFile(keyPath, key.MarshalPEM()); err != nil {
+		pemBytes := key.MarshalPEM()
+		defer scrub.Bytes(pemBytes)
+		if err := k.FS().WriteFile(keyPath, pemBytes); err != nil {
 			return CopyMinRow{}, err
 		}
 		if err := k.ScrambleFreeMemory(subSeed(cellSeed, 2)); err != nil {

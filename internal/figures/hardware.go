@@ -11,6 +11,7 @@ import (
 	"memshield/internal/report"
 	"memshield/internal/runner"
 	"memshield/internal/scan"
+	"memshield/internal/scrub"
 	"memshield/internal/server/sshd"
 	"memshield/internal/stats"
 )
@@ -91,7 +92,9 @@ func Hardware(cfg Config) (*HardwareResult, error) {
 				return HardwareRow{}, err
 			}
 		} else {
-			if err := k.FS().WriteFile(keyPath, key.MarshalPEM()); err != nil {
+			pemBytes := key.MarshalPEM()
+			defer scrub.Bytes(pemBytes)
+			if err := k.FS().WriteFile(keyPath, pemBytes); err != nil {
 				return HardwareRow{}, err
 			}
 			srv, err = sshd.Start(k, sshd.Config{

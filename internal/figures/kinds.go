@@ -7,6 +7,7 @@ import (
 	"memshield/internal/kernel"
 	"memshield/internal/protect"
 	"memshield/internal/scan"
+	"memshield/internal/scrub"
 	"memshield/internal/server/httpd"
 	"memshield/internal/server/sshd"
 	"memshield/internal/sim"
@@ -127,7 +128,9 @@ func buildLoadedServer(kind ServerKind, level protect.Level, memPages, keyBits, 
 	if err != nil {
 		return nil, fmt.Errorf("figures: %w", err)
 	}
-	if err := k.FS().WriteFile(keyPath, key.MarshalPEM()); err != nil {
+	pemBytes := key.MarshalPEM()
+	defer scrub.Bytes(pemBytes)
+	if err := k.FS().WriteFile(keyPath, pemBytes); err != nil {
 		return nil, fmt.Errorf("figures: %w", err)
 	}
 	if err := k.ScrambleFreeMemory(subSeed(seed, 2)); err != nil {

@@ -11,6 +11,7 @@ import (
 	"memshield/internal/report"
 	"memshield/internal/runner"
 	"memshield/internal/scan"
+	"memshield/internal/scrub"
 	"memshield/internal/ssl"
 	"memshield/internal/stats"
 )
@@ -71,7 +72,9 @@ func SwapSurface(cfg Config) (*SwapSurfaceResult, error) {
 			return SwapRow{}, err
 		}
 		heap := libc.New(k, pid)
-		r, err := ssl.D2iPrivateKey(heap, key.MarshalPEM())
+		pemBytes := key.MarshalPEM()
+		defer scrub.Bytes(pemBytes)
+		r, err := ssl.D2iPrivateKey(heap, pemBytes)
 		if err != nil {
 			return SwapRow{}, err
 		}

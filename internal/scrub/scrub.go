@@ -1,0 +1,27 @@
+// Package scrub is the canonical zeroizing release for native-heap copies
+// of key material. The simulated machine already has its own scrub
+// primitives (mem.Zero for physical ranges, libc.Heap.FreeZero for heap
+// chunks); this package covers the third kind of copy the paper's
+// discipline has to reach — transient Go byte slices produced while
+// marshalling or parsing a key (DER, PEM armor, BIGNUM reads). Those
+// slices live on the native heap where no simulated countermeasure can
+// ever scrub them, so the code that creates one must zeroize it before
+// letting it die.
+//
+// The //memlint:sink marker below declares Bytes to the keylifetime
+// analyzer as a release point: a value tainted by a //memlint:source is
+// proven clean only when every path to function exit passes it through a
+// sink like this one (or returns it to the caller, transferring the
+// obligation). See DESIGN.md §6.
+package scrub
+
+// Bytes zeroizes b in place. A nil or empty slice is a no-op, so it is
+// safe to defer immediately after a fallible producer:
+//
+//	der, err := pemfile.Decode(data)
+//	defer scrub.Bytes(der)
+//
+//memlint:sink param=0
+func Bytes(b []byte) {
+	clear(b)
+}

@@ -1,0 +1,33 @@
+package scrub_test
+
+import (
+	"testing"
+
+	"memshield/internal/scrub"
+)
+
+func TestBytesZeroizes(t *testing.T) {
+	b := []byte{1, 2, 3, 4}
+	scrub.Bytes(b)
+	for i, x := range b {
+		if x != 0 {
+			t.Fatalf("b[%d] = %d after scrub", i, x)
+		}
+	}
+}
+
+func TestBytesNilAndEmpty(t *testing.T) {
+	scrub.Bytes(nil) // must not panic: the defer-before-error-check idiom relies on it
+	scrub.Bytes([]byte{})
+}
+
+func TestBytesScrubsSharedBacking(t *testing.T) {
+	base := []byte{1, 2, 3, 4}
+	scrub.Bytes(base[1:3])
+	want := []byte{1, 0, 0, 4}
+	for i := range base {
+		if base[i] != want[i] {
+			t.Fatalf("base = %v, want %v", base, want)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"memshield/internal/kernel"
 	"memshield/internal/protect"
 	"memshield/internal/scan"
+	"memshield/internal/scrub"
 	"memshield/internal/server/httpd"
 	"memshield/internal/server/sshd"
 	"memshield/internal/stats"
@@ -201,7 +202,9 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	if err := k.FS().WriteFile(KeyPath, key.MarshalPEM()); err != nil {
+	pemBytes := key.MarshalPEM()
+	defer scrub.Bytes(pemBytes)
+	if err := k.FS().WriteFile(KeyPath, pemBytes); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	if err := k.ScrambleFreeMemory(stats.DeriveSeed(cfg.Seed, 2)); err != nil {

@@ -31,6 +31,7 @@ import (
 	"memshield/internal/kernel/vm"
 	"memshield/internal/libc"
 	"memshield/internal/mem"
+	"memshield/internal/scrub"
 )
 
 // Flags mirror OpenSSL's RSA flag bits that matter to the paper.
@@ -85,9 +86,11 @@ func (b *BigNum) Bytes() ([]byte, error) {
 	return b.heap.Read(b.ptr, b.size)
 }
 
-// Int reads the value as a big.Int.
+// Int reads the value as a big.Int. The transient native copy is
+// scrubbed; the big.Int itself is the documented math/big hole.
 func (b *BigNum) Int() (*big.Int, error) {
 	raw, err := b.Bytes()
+	defer scrub.Bytes(raw)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +170,10 @@ func D2iPrivateKey(h *libc.Heap, pemData []byte, opts ...LoadOption) (*RSA, erro
 		return nil, errors.Join(fmt.Errorf("ssl: d2i: %w", err), h.FreeZero(pemBuf))
 	}
 	// The base64-decoded DER buffer (d2i input) — contains d, p, q raw.
+	// The host-side copy is scrubbed once it has been planted in simulated
+	// memory; derBuf is the copy the experiments scan for.
 	der := key.MarshalDER()
+	defer scrub.Bytes(der)
 	derBuf, err := h.Malloc(len(der))
 	if err != nil {
 		return nil, errors.Join(fmt.Errorf("ssl: d2i: %w", err), h.FreeZero(pemBuf))
@@ -314,6 +320,7 @@ func (r *RSA) MemoryAlign() error {
 // succeeded, so a failed move leaves the part owning its old buffer.
 func (r *RSA) movePart(bn *BigNum, dst vm.VAddr) error {
 	val, err := bn.Bytes()
+	defer scrub.Bytes(val)
 	if err != nil {
 		return err
 	}
@@ -370,10 +377,12 @@ func (r *RSA) ensureMontCache() error {
 		return nil
 	}
 	pBytes, err := r.p.Bytes()
+	defer scrub.Bytes(pBytes)
 	if err != nil {
 		return err
 	}
 	qBytes, err := r.q.Bytes()
+	defer scrub.Bytes(qBytes)
 	if err != nil {
 		return err
 	}

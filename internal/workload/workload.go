@@ -23,6 +23,7 @@ import (
 	"memshield/internal/crypto/rsakey"
 	"memshield/internal/kernel"
 	"memshield/internal/protect"
+	"memshield/internal/scrub"
 	"memshield/internal/server/httpd"
 	"memshield/internal/server/sshd"
 	"memshield/internal/stats"
@@ -154,7 +155,9 @@ func setupMachine(memPages, keyBits int, seed int64, level protect.Level) (*kern
 	if err != nil {
 		return nil, err
 	}
-	if err := k.FS().WriteFile(KeyPath, key.MarshalPEM()); err != nil {
+	pemBytes := key.MarshalPEM()
+	defer scrub.Bytes(pemBytes)
+	if err := k.FS().WriteFile(KeyPath, pemBytes); err != nil {
 		return nil, err
 	}
 	if err := k.ScrambleFreeMemory(stats.DeriveSeed(seed, 2)); err != nil {

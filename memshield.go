@@ -43,6 +43,7 @@ import (
 	"memshield/internal/mem"
 	"memshield/internal/protect"
 	"memshield/internal/scan"
+	"memshield/internal/scrub"
 	"memshield/internal/server/httpd"
 	"memshield/internal/server/sshd"
 	"memshield/internal/sim"
@@ -169,7 +170,9 @@ func (m *Machine) InstallKey(path string, bits int) (*Key, error) {
 	if err != nil {
 		return nil, fmt.Errorf("memshield: %w", err)
 	}
-	if err := m.k.FS().WriteFile(path, key.MarshalPEM()); err != nil {
+	pemBytes := key.MarshalPEM()
+	defer scrub.Bytes(pemBytes)
+	if err := m.k.FS().WriteFile(path, pemBytes); err != nil {
 		return nil, fmt.Errorf("memshield: %w", err)
 	}
 	return &Key{Private: key, Path: path}, nil
