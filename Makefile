@@ -41,10 +41,10 @@ lint-self:
 	$(GO) run ./cmd/memlint ./internal/analysis/...
 	$(GO) test -run TestSuppressionBudget ./internal/analysis/policy
 
-# Fault-injection matrix under the race detector: both servers × five
-# protection levels × 60 seeded plans, plus the seed-replay determinism
-# check and the no-false-security demonstrations (DESIGN.md §8). CI runs
-# this on each PR.
+# Fault-injection matrix under the race detector: both servers × six
+# protection levels × 72 seeded plans, plus the seed-replay determinism
+# check and the no-false-security demonstrations (DESIGN.md §8, §10). CI
+# runs this on each PR.
 test-faults:
 	$(GO) test -race -run 'TestFaultMatrix|TestNoFalseSecurity' -v .
 

@@ -34,7 +34,7 @@ func parseLevel(s string) (protect.Level, error) {
 			return l, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown level %q (want none, application, library, kernel, integrated or secure-dealloc)", s)
+	return 0, fmt.Errorf("unknown level %q (want none, application, library, kernel, integrated, secure-dealloc or sealed)", s)
 }
 
 func parseKind(s string) (sim.ServerKind, error) {
@@ -52,7 +52,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	var (
 		server  = fs.String("server", "ssh", "server to simulate: ssh or apache")
-		level   = fs.String("level", "none", "protection level: none, application, library, kernel, integrated, secure-dealloc")
+		level   = fs.String("level", "none", "protection level: none, application, library, kernel, integrated, secure-dealloc, sealed")
 		memMB   = fs.Int("mem-mb", 32, "simulated physical memory in MiB")
 		seed    = fs.Int64("seed", 2007, "simulation seed")
 		plotDir = fs.String("plot-dir", "", "also write gnuplot .dat/.gp artifacts into this directory")

@@ -42,6 +42,32 @@ func TestSeedStabilityFig5(t *testing.T) {
 	}
 }
 
+// TestSeedStabilitySealed replays the sealed timeline. The sealing prekey
+// stream, the per-window key/IV derivations, and the epoch counters are
+// all pure functions of the run seed, so two runs must produce
+// byte-identical snapshot streams; a neighbouring seed must diverge.
+func TestSeedStabilitySealed(t *testing.T) {
+	cfg := sim.Config{Kind: sim.KindSSH, Level: protect.LevelSealed, Seed: goldenSeed}
+	first, err := snapshotTimeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := snapshotTimeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same seed, diverging sealed snapshots:\n%s", firstDiff(first, second))
+	}
+	other, err := snapshotTimeline(sim.Config{Kind: sim.KindSSH, Level: protect.LevelSealed, Seed: goldenSeed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(first, other) {
+		t.Fatal("different seeds produced identical sealed snapshot streams")
+	}
+}
+
 // snapshotTimeline serializes a full timeline run into a canonical byte
 // stream covering everything the figures are derived from.
 func snapshotTimeline(cfg sim.Config) ([]byte, error) {
@@ -67,10 +93,12 @@ func snapshotTimeline(cfg sim.Config) ([]byte, error) {
 // (DESIGN.md §7): rendering an experiment with -workers=1 (the sequential
 // reference path in internal/runner, zero goroutines) and -workers=4 must
 // produce byte-identical output. It covers one sweep per cell shape — an
-// ext2 grid (fig1), a single-run timeline (fig5), and the per-trial
-// re-examination table — at a reduced scale so the three pairs stay fast.
+// ext2 grid (fig1), a single-run timeline (fig5), the per-trial
+// re-examination table, and the sealed timeline (whose per-handshake
+// unseal/reseal windows must not reorder under concurrency) — at a
+// reduced scale so the pairs stay fast.
 func TestWorkerCountInvariance(t *testing.T) {
-	for _, id := range []string{"fig1", "fig5", "ext2-reexam"} {
+	for _, id := range []string{"fig1", "fig5", "ext2-reexam", "sealed"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -31,6 +31,7 @@ import (
 
 	"memshield/internal/core"
 	"memshield/internal/crypto/rsakey"
+	"memshield/internal/crypto/seal"
 	"memshield/internal/fault"
 	"memshield/internal/kernel"
 	"memshield/internal/kernel/vm"
@@ -43,11 +44,12 @@ import (
 
 const faultKeyPath = "/etc/keys/server.key"
 
-// matrixLevels are the five configurations the matrix sweeps — the
-// paper's four countermeasure levels plus the unpatched baseline.
+// matrixLevels are the six configurations the matrix sweeps — the
+// paper's four countermeasure levels, the unpatched baseline, and the
+// sealed extension (whose unseal/reseal windows add two fault sites).
 var matrixLevels = []protect.Level{
 	protect.LevelNone, protect.LevelApp, protect.LevelLibrary,
-	protect.LevelKernel, protect.LevelIntegrated,
+	protect.LevelKernel, protect.LevelIntegrated, protect.LevelSealed,
 }
 
 // matrixPlan arms every site probabilistically. Mlock/SwapStore/Evict are
@@ -65,6 +67,11 @@ func matrixPlan(seed int64) *fault.Plan {
 			fault.SiteEvict:      {Prob: 0.25},
 			fault.SiteFSRead:     {Prob: 0.03},
 			fault.SiteMalloc:     {Prob: 0.01},
+			// The sealed working window: a failed unseal is a transient
+			// refusal, a failed reseal destroys the key fail-closed — both
+			// must keep the audit clean at the level the run then claims.
+			fault.SiteUnseal: {Prob: 0.1},
+			fault.SiteSeal:   {Prob: 0.05},
 		},
 	}
 }
@@ -229,7 +236,7 @@ func faultFingerprint(in *fault.Injector, rep *core.Report, st *protect.Status) 
 	return b.String()
 }
 
-// TestFaultMatrix sweeps 60 seeded plans — both servers × five protection
+// TestFaultMatrix sweeps 72 seeded plans — both servers × six protection
 // levels × six seeds each — and checks the three matrix properties on
 // every cell.
 func TestFaultMatrix(t *testing.T) {
@@ -500,4 +507,137 @@ func TestNoFalseSecurityZeroOnFreeStop(t *testing.T) {
 	if err := k.VM().CheckConsistency(); err != nil {
 		t.Fatalf("vm inconsistent: %v", err)
 	}
+}
+
+// TestNoFalseSecuritySealFaults extends the acceptance demonstration to
+// the two sites the sealed level adds. A failed unseal is a transient
+// refusal: the handshake errors, the region stays intact and sealed, the
+// next handshake succeeds, and nothing degrades. A failed reseal is
+// fail-closed destruction: the plaintext is scrubbed before the error
+// propagates (pages may leak, contents never do), the sealed-at-rest
+// guarantee degrades, the run's honest claim drops to integrated, and
+// that downgraded claim is scanner-verified. The same calibration idiom
+// as the zero-on-free test brackets one handshake's window ordinals.
+func TestNoFalseSecuritySealFaults(t *testing.T) {
+	boot := func(plan *fault.Plan) (*kernel.Kernel, []scan.Pattern, *sshd.Server) {
+		k, err := kernel.New(kernel.Config{
+			MemPages:      768,
+			DeallocPolicy: protect.LevelSealed.KernelPolicy(),
+			FaultPlan:     plan,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, err := rsakey.Generate(stats.NewReader(stats.DeriveSeed(2007, 1)), 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.FS().WriteFile(faultKeyPath, key.MarshalPEM()); err != nil {
+			t.Fatal(err)
+		}
+		s, err := sshd.Start(k, sshd.Config{
+			KeyPath: faultKeyPath, Level: protect.LevelSealed, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k, scan.PatternsFor(key), s
+	}
+
+	// Calibration pass: an armed injector with no rules counts the window
+	// consultations, bracketing the ordinals one handshake uses.
+	kc, patternsC, sc := boot(&fault.Plan{Seed: 2007})
+	preU := kc.Injector().Calls(fault.SiteUnseal)
+	preS := kc.Injector().Calls(fault.SiteSeal)
+	if _, err := sc.Connect(); err != nil {
+		t.Fatalf("calibration connect: %v", err)
+	}
+	postU := kc.Injector().Calls(fault.SiteUnseal)
+	postS := kc.Injector().Calls(fault.SiteSeal)
+	if postU <= preU || postS <= preS {
+		t.Fatalf("calibration saw no seal window during the handshake (unseal %d→%d, reseal %d→%d)",
+			preU, postU, preS, postS)
+	}
+	if eff := sc.Status().Effective(); eff != protect.LevelSealed {
+		t.Fatalf("calibration run should stay sealed, got %s", eff)
+	}
+	if sum := scan.Summarize(scan.New(kc, patternsC).Scan()); sum.Total != 0 {
+		t.Fatalf("sealed steady state should expose zero copies, scanner found %d", sum.Total)
+	}
+	window := func(pre, post uint64) (nth []uint64) {
+		for n := pre + 1; n <= post; n++ {
+			nth = append(nth, n)
+		}
+		return nth
+	}
+
+	t.Run("unseal-transient", func(t *testing.T) {
+		k, patterns, s := boot(&fault.Plan{
+			Seed:  2007,
+			Rules: map[fault.Site]fault.Rule{fault.SiteUnseal: {Nth: window(preU, postU)}},
+		})
+		if _, err := s.Connect(); err == nil {
+			t.Fatal("connect should fail while the unseal is denied")
+		} else if !errors.Is(err, fault.ErrInjected) || !errors.Is(err, seal.ErrUnseal) {
+			t.Fatalf("refusal should wrap the injection and the unseal error, got %v", err)
+		}
+		if _, ok := s.Status().Degraded(protect.GuaranteeSealedAtRest); ok {
+			t.Fatal("a transient unseal refusal must not degrade the sealed guarantee")
+		}
+		if eff := s.Status().Effective(); eff != protect.LevelSealed {
+			t.Fatalf("region intact, so the claim stays sealed; got %s", eff)
+		}
+		// The window never opened: no plaintext existed at any point.
+		if sum := scan.Summarize(scan.New(k, patterns).Scan()); sum.Total != 0 {
+			t.Fatalf("refused unseal left %d scannable copies", sum.Total)
+		}
+		// The fault was transient: the next handshake succeeds as normal.
+		if _, err := s.Connect(); err != nil {
+			t.Fatalf("connect after the transient refusal: %v", err)
+		}
+		if rep := core.NewWithStatus(k, s.Status()).AuditEffective(patterns); !rep.OK() {
+			t.Fatalf("effective-level audit must pass: %v", rep.Violations)
+		}
+	})
+
+	t.Run("reseal-destroys", func(t *testing.T) {
+		k, patterns, s := boot(&fault.Plan{
+			Seed:  2007,
+			Rules: map[fault.Site]fault.Rule{fault.SiteSeal: {Nth: window(preS, postS)}},
+		})
+		_, connErr := s.Connect()
+		if connErr == nil {
+			t.Fatal("connect should fail when the reseal fails")
+		}
+		if !errors.Is(connErr, fault.ErrInjected) || !errors.Is(connErr, seal.ErrReseal) {
+			t.Fatalf("failure should wrap the injection and the reseal error, got %v", connErr)
+		}
+		// Fail closed: destruction scrubbed the plaintext before the error
+		// propagated — the fault leaks pages, never contents.
+		if sum := scan.Summarize(scan.New(k, patterns).Scan()); sum.Total != 0 {
+			t.Fatalf("destroyed seal left %d scannable copies: fail-open reseal", sum.Total)
+		}
+		status := s.Status()
+		if _, ok := status.Degraded(protect.GuaranteeSealedAtRest); !ok {
+			t.Fatal("a destroyed region must degrade the sealed-at-rest guarantee")
+		}
+		if eff := status.Effective(); eff != protect.LevelIntegrated {
+			t.Fatalf("every integrated guarantee still holds, so the honest claim is integrated; got %s", eff)
+		}
+		// Refusal, not plaintext: the key is gone for good.
+		if _, err := s.Connect(); err == nil {
+			t.Fatal("a destroyed key must refuse further handshakes")
+		} else if !errors.Is(err, seal.ErrDestroyed) {
+			t.Fatalf("the refusal should name the destroyed region, got %v", err)
+		}
+		if rep := core.NewWithStatus(k, status).AuditEffective(patterns); !rep.OK() {
+			t.Fatalf("effective-level audit must pass on the degraded run: %v", rep.Violations)
+		}
+		if err := k.Alloc().CheckConsistency(); err != nil {
+			t.Fatalf("allocator inconsistent: %v", err)
+		}
+		if err := k.VM().CheckConsistency(); err != nil {
+			t.Fatalf("vm inconsistent: %v", err)
+		}
+	})
 }

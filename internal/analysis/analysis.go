@@ -63,8 +63,8 @@ type Pass struct {
 	// keylifetime analyzers consume it.
 	Sources map[string]int
 	// Sinks maps the go/types full name of every function carrying a
-	// //memlint:sink marker to the index of the byte-slice parameter it
-	// zeroizes. Drivers fill it from load.Result.Sinks.
+	// //memlint:sink marker to the index of the parameter it zeroizes (a
+	// byte slice or *math/big.Int). Drivers fill it from load.Result.Sinks.
 	Sinks map[string]int
 	// LookupFunc resolves a full function name to its declaration in any
 	// package the load session has type-checked, letting interprocedural

@@ -25,6 +25,17 @@
 // (k.D and k.Primes are distinct obligations; xs[*] covers a slice's
 // elements), so zeroizing one field never silently discharges another.
 //
+// Obligations attach to the two shapes key material takes in this
+// codebase: byte slices (released by scrub.Bytes / clear) and
+// *math/big.Int values (released by scrub.Big — a big.Int built from key
+// bytes holds the same limbs the slice did). Ownership also transfers
+// out of a function by returning the value — directly, or packed in a
+// composite literal / address-of — and by sending it on a channel; both
+// hand the release obligation to the consumer. Function literals are
+// analyzed wherever they occur, including immediately-invoked and
+// go-spawned closures, so a key minted inside `go func() { ... }()` is
+// checked like any other body.
+//
 // Accepted approximations, chosen to keep the checker decidable and the
 // fix idioms honest: slicing is whole-backing-array aliasing (releasing
 // b after b := a[2:] credits a); a deferred closure's zeroize of a
@@ -137,6 +148,16 @@ const (
 	ctxSink
 )
 
+// throughCtx propagates an ownership-transferring context (return / send)
+// through a value-carrying wrapper expression; every other context
+// degrades to leak.
+func throughCtx(ctx int) int {
+	if ctx == ctxReturn {
+		return ctxReturn
+	}
+	return ctxLeak
+}
+
 func (b *bodyCheck) visit(n ast.Node, fs facts) {
 	switch s := n.(type) {
 	case *ast.AssignStmt:
@@ -170,7 +191,10 @@ func (b *bodyCheck) visit(n ast.Node, fs facts) {
 	case *ast.ExprStmt:
 		b.scanExpr(s.X, fs, ctxLeak)
 	case *ast.SendStmt:
-		b.scanExpr(s.Value, fs, ctxLeak)
+		// A channel send is an ownership transfer, like a return: the
+		// receiver end owns the release (releaseTransfer credits the sent
+		// path symmetrically).
+		b.scanExpr(s.Value, fs, ctxReturn)
 	case *ast.RangeStmt:
 		b.scanExpr(s.X, fs, ctxLeak)
 	case *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.LabeledStmt:
@@ -214,11 +238,13 @@ func (b *bodyCheck) checkAssignParts(stmt ast.Node, lhs, rhs []ast.Expr, fs fact
 
 // obligation checks that the value just bound to lhs is provably
 // released on every continuation, and reports with the full
-// source-to-binding provenance chain when it is not. Only byte-slice
-// results carry obligations: taint flowing into a *big.Int is the
-// documented math/big hole (DESIGN.md §6) — there is no slice to scrub.
+// source-to-binding provenance chain when it is not. Obligations attach
+// to byte-slice results (scrubbed with scrub.Bytes / clear) and to
+// *math/big.Int results (scrubbed with scrub.Big): a big.Int built from
+// key bytes holds the same limbs the slice did, so letting it escape
+// unscrubbed was the math/big hole this closes.
 func (b *bodyCheck) obligation(stmt ast.Node, lhs ast.Expr, call *ast.CallExpr, idx int, origin string) {
-	if !b.en.resultIsByteSlice(call, idx) {
+	if !b.en.resultNeedsRelease(call, idx) {
 		return
 	}
 	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
@@ -240,8 +266,8 @@ func (b *bodyCheck) obligation(stmt ast.Node, lhs ast.Expr, call *ast.CallExpr, 
 	}
 	b.c.pass.Reportf(lhs.Pos(),
 		"key material in %s (%s) is not zeroized on every path to return; "+
-			"release it with scrub.Bytes / clear / a zeroizing callee, or return "+
-			"it to transfer the obligation to the caller (DESIGN.md §6)",
+			"release it with scrub.Bytes / scrub.Big / clear / a zeroizing callee, "+
+			"or return it to transfer the obligation to the caller (DESIGN.md §6)",
 		p, origin)
 }
 
@@ -251,6 +277,12 @@ func (b *bodyCheck) obligation(stmt ast.Node, lhs ast.Expr, call *ast.CallExpr, 
 func (b *bodyCheck) scanExpr(e ast.Expr, fs facts, ctx int) {
 	switch x := ast.Unparen(e).(type) {
 	case *ast.CallExpr:
+		// An immediately-invoked or go-spawned function literal is a body
+		// of its own: analyze it at the occurrence facts, so a key minted
+		// (and dropped) inside `go func() { ... }()` is not invisible.
+		if lit, ok := ast.Unparen(x.Fun).(*ast.FuncLit); ok {
+			b.scanExpr(lit, fs, ctxLeak)
+		}
 		// Conversions and append are transparent: the bytes end up in the
 		// surrounding context's value.
 		if b.en.isConversion(x) && len(x.Args) == 1 {
@@ -310,15 +342,19 @@ func (b *bodyCheck) scanExpr(e ast.Expr, fs facts, ctx int) {
 		b.scanExpr(x.X, fs, ctxLeak)
 		b.scanExpr(x.Y, fs, ctxLeak)
 	case *ast.UnaryExpr:
-		b.scanExpr(x.X, fs, ctxLeak)
+		// &x in a return operand still transfers ownership of x's
+		// contents to the caller.
+		b.scanExpr(x.X, fs, throughCtx(ctx))
 	case *ast.StarExpr:
 		b.scanExpr(x.X, fs, ctxLeak)
 	case *ast.CompositeLit:
+		// A composite literal in a return operand carries its elements out
+		// with it (ownership transfer); anywhere else the elements leak.
 		for _, el := range x.Elts {
 			if kv, ok := el.(*ast.KeyValueExpr); ok {
 				el = kv.Value
 			}
-			b.scanExpr(el, fs, ctxLeak)
+			b.scanExpr(el, fs, throughCtx(ctx))
 		}
 	case *ast.IndexExpr:
 		b.scanExpr(x.X, fs, ctxLeak)
@@ -334,14 +370,14 @@ func (b *bodyCheck) scanExpr(e ast.Expr, fs facts, ctx int) {
 	}
 }
 
-// anyByteTaint picks the lowest-index tainted BYTE-SLICE result, for
-// deterministic messages on multi-result calls. Tainted non-slice
-// results (a *big.Int) are the documented math/big hole and carry no
-// scrub obligation.
+// anyByteTaint picks the lowest-index tainted RELEASABLE result (byte
+// slice or *big.Int), for deterministic messages on multi-result calls.
+// Tainted results of other types (a struct holding key fields) carry no
+// direct scrub obligation — the fields do, at their own bindings.
 func anyByteTaint(en *engine, call *ast.CallExpr, rt map[int]string) (string, bool) {
 	best, origin := -1, ""
 	for idx, o := range rt {
-		if !en.resultIsByteSlice(call, idx) {
+		if !en.resultNeedsRelease(call, idx) {
 			continue
 		}
 		if best < 0 || idx < best {

@@ -16,6 +16,8 @@ func TestKeylifetime(t *testing.T) {
 		"keylifeok",    // clean releases: sink, clear, defer, closure, alias, return
 		"keylifeinter", // interprocedural: chains, recursion, method values, closures
 		"keylifefield", // field-sensitive: struct members, slice elements
+		"keylifebig",   // math/big: *big.Int obligations, Bytes()-derived buffers
+		"keylifego",    // goroutines and channels: spawned closures, send transfer
 	} {
 		t.Run(pkg, func(t *testing.T) {
 			checktest.Run(t, "testdata", keylifetime.Analyzer, pkg)

@@ -3,6 +3,7 @@ package keylifetime
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 	"strings"
@@ -758,10 +759,13 @@ func (en *engine) releaseTransfer(n ast.Node, fs facts) {
 			}
 		}
 		for _, r := range s.Results {
-			if p, ok := en.pathOf(r); ok {
-				fs.Add(p)
-			}
+			en.creditTransfer(r, fs)
 		}
+	case *ast.SendStmt:
+		// A channel send transfers ownership to the receiver end, exactly
+		// like returning: the value leaves this function's reach alive and
+		// the consumer owns the release.
+		en.creditTransfer(s.Value, fs)
 	case *ast.DeferStmt:
 		// A deferred direct sink call releases the value its argument
 		// held at registration; a deferred closure zeroizing a capture
@@ -783,6 +787,31 @@ func (en *engine) releaseTransfer(n ast.Node, fs facts) {
 			en.releaseArgs(call, func(p path) { fs.Add(p) })
 		}
 	})
+}
+
+// creditTransfer marks the paths an ownership-transferring operand
+// (return result, channel send) hands off: the direct path, and — for a
+// composite literal or an address-of wrapper — every leaf path packed
+// into the transferred value, so `return &Key{D: d}` credits d just as
+// `return d` would.
+func (en *engine) creditTransfer(e ast.Expr, fs facts) {
+	if p, ok := en.pathOf(e); ok {
+		fs.Add(p)
+		return
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			en.creditTransfer(el, fs)
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			en.creditTransfer(x.X, fs)
+		}
+	}
 }
 
 // walkNoLit walks a node's subtree without entering function literals.
@@ -934,7 +963,7 @@ func (en *engine) analyzeForSummary(decl *ast.FuncDecl, sum *Summary) {
 	if en.sig != nil {
 		for i := 0; i < en.sig.Params().Len(); i++ {
 			v := en.sig.Params().At(i)
-			if v != nil && isByteSlice(v.Type()) && entry.Has(path{v, ""}) {
+			if v != nil && needsRelease(v.Type()) && entry.Has(path{v, ""}) {
 				sum.ZeroizedParams[i] = true
 			}
 		}
@@ -956,17 +985,27 @@ func seedable(t types.Type) bool {
 	return false
 }
 
-// resultIsByteSlice reports whether a call's idx-th result is a byte
-// slice — the only result kind that carries a scrub obligation.
-func (en *engine) resultIsByteSlice(call *ast.CallExpr, idx int) bool {
+// resultNeedsRelease reports whether a call's idx-th result carries a
+// scrub obligation: a byte slice (scrub.Bytes / clear) or a *math/big.Int
+// (scrub.Big), the two shapes key material takes in this codebase.
+func (en *engine) resultNeedsRelease(call *ast.CallExpr, idx int) bool {
 	tv, ok := en.info.Types[call]
 	if !ok {
 		return false
 	}
 	if tup, ok := tv.Type.(*types.Tuple); ok {
-		return idx < tup.Len() && isByteSlice(tup.At(idx).Type())
+		return idx < tup.Len() && needsRelease(tup.At(idx).Type())
 	}
-	return idx == 0 && isByteSlice(tv.Type)
+	return idx == 0 && needsRelease(tv.Type)
+}
+
+// needsRelease reports whether values of t carry a direct scrub
+// obligation when tainted: byte slices and *math/big.Int. big.Int is
+// special-cased because it is where every RSA computation in this
+// codebase puts key bytes — leaving its limbs out of the must-release
+// analysis was the math/big hole (DESIGN.md §6).
+func needsRelease(t types.Type) bool {
+	return isByteSlice(t) || isBigIntPtr(t)
 }
 
 func isByteSlice(t types.Type) bool {
@@ -976,4 +1015,17 @@ func isByteSlice(t types.Type) bool {
 	}
 	b, ok := s.Elem().Underlying().(*types.Basic)
 	return ok && b.Kind() == types.Byte
+}
+
+func isBigIntPtr(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "math/big" && obj.Name() == "Int"
 }

@@ -1,0 +1,116 @@
+// Package keylifebig exercises the math/big closure of the lifetime
+// verifier: a *big.Int built from key bytes carries the same limbs the
+// byte slice did, so its binding carries a scrub obligation (released by
+// scrub.Big-style sinks), and the buffers big.Int.Bytes() hands back are
+// tracked like any other tainted slice. Leaking variants carry // want
+// expectations; the clean counterparts must stay silent.
+package keylifebig
+
+import "math/big"
+
+// newKey mints fixture key material.
+//
+//memlint:source result=0
+func newKey() []byte { return nil }
+
+// wipe is the fixture's byte-slice release.
+//
+//memlint:sink param=0
+func wipe(b []byte) { clear(b) }
+
+// wipeInt is the fixture's big.Int release, shaped like scrub.Big.
+//
+//memlint:sink param=0
+func wipeInt(v *big.Int) {
+	if v != nil {
+		v.SetInt64(0)
+	}
+}
+
+// use consumes bytes without releasing them.
+func use(b []byte) {}
+
+// useInt consumes a big.Int without releasing it.
+func useInt(v *big.Int) {}
+
+// IntLeak binds key bytes into a big.Int and never scrubs the limbs —
+// the exact escape the byte-slice-only analysis used to miss.
+func IntLeak() {
+	k := newKey()
+	defer wipe(k)
+	v := new(big.Int).SetBytes(k) // want `key material in v \(keylifebig\.newKey via big\.SetBytes\) is not zeroized on every path`
+	useInt(v)
+}
+
+// IntOneBranch scrubs the big.Int on the then-branch only.
+func IntOneBranch(cond bool) {
+	k := newKey()
+	defer wipe(k)
+	v := new(big.Int).SetBytes(k) // want `key material in v \(keylifebig\.newKey via big\.SetBytes\) is not zeroized on every path`
+	if cond {
+		wipeInt(v)
+	}
+}
+
+// BytesLeak extracts the limbs back into a fresh buffer and leaks it:
+// big.Int.Bytes() allocates a new slice the wipe of k never touches.
+func BytesLeak() {
+	k := newKey()
+	v := new(big.Int).SetBytes(k)
+	defer wipe(k)
+	defer wipeInt(v)
+	out := v.Bytes() // want `key material in out \(keylifebig\.newKey via big\.SetBytes via big\.Bytes\) is not zeroized on every path`
+	use(out)
+}
+
+// IntDiscarded throws the tainted big.Int away unnamed.
+func IntDiscarded() {
+	k := newKey()
+	defer wipe(k)
+	_ = new(big.Int).SetBytes(k) // want `key material \(keylifebig\.newKey via big\.SetBytes\) is discarded into _`
+}
+
+// IntClean releases the big.Int with the marked sink on every path.
+func IntClean(cond bool) {
+	k := newKey()
+	defer wipe(k)
+	v := new(big.Int).SetBytes(k)
+	defer wipeInt(v)
+	if cond {
+		useInt(v)
+	}
+}
+
+// IntReturnTransfer hands the big.Int obligation to the caller.
+func IntReturnTransfer() *big.Int {
+	k := newKey()
+	defer wipe(k)
+	v := new(big.Int).SetBytes(k)
+	return v
+}
+
+// BytesClean scrubs the extracted buffer alongside the limbs.
+func BytesClean() {
+	k := newKey()
+	v := new(big.Int).SetBytes(k)
+	defer wipe(k)
+	defer wipeInt(v)
+	out := v.Bytes()
+	defer wipe(out)
+	use(out)
+}
+
+// ZeroizerSummary proves the interprocedural direction: scrubBoth has no
+// marker, but its computed summary shows it zeroizes both parameters on
+// all paths, so calling it releases slice and limbs alike.
+func ZeroizerSummary() {
+	k := newKey()
+	v := new(big.Int).SetBytes(k)
+	scrubBoth(k, v)
+}
+
+// scrubBoth releases a byte slice and a big.Int via the marked sinks.
+func scrubBoth(b []byte, v *big.Int) {
+	wipe(b)
+	wipeInt(v)
+}

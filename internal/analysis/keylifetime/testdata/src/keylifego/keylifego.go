@@ -1,0 +1,90 @@
+// Package keylifego exercises the goroutine and channel coverage of the
+// lifetime verifier: function literals spawned with go (or invoked
+// immediately) are analyzed like any other body, and a channel send is
+// an ownership transfer — the receiver end owns the release, exactly as
+// a return hands the obligation to the caller. Leaking variants carry
+// // want expectations; the clean counterparts must stay silent.
+package keylifego
+
+// newKey mints fixture key material.
+//
+//memlint:source result=0
+func newKey() []byte { return nil }
+
+// wipe is the fixture's zeroizing release.
+//
+//memlint:sink param=0
+func wipe(b []byte) { clear(b) }
+
+// use consumes bytes without releasing them.
+func use(b []byte) {}
+
+// GoroutineLeak mints a key inside a spawned closure and drops it — the
+// classic escape a declaration-only walk never sees.
+func GoroutineLeak() {
+	go func() {
+		k := newKey() // want `key material in k \(keylifego\.newKey\) is not zeroized on every path`
+		use(k)
+	}()
+}
+
+// IIFELeak is the immediately-invoked variant of the same hole.
+func IIFELeak() {
+	func() {
+		k := newKey() // want `key material in k \(keylifego\.newKey\) is not zeroized on every path`
+		use(k)
+	}()
+}
+
+// SendLeak sends the key only on one branch; the fallthrough path keeps
+// the buffer with no release in sight.
+func SendLeak(ch chan []byte, cond bool) {
+	k := newKey() // want `key material in k \(keylifego\.newKey\) is not zeroized on every path`
+	if cond {
+		ch <- k
+	}
+}
+
+// GoroutineClean releases inside the spawned closure.
+func GoroutineClean() {
+	go func() {
+		k := newKey()
+		defer wipe(k)
+		use(k)
+	}()
+}
+
+// SendTransfer hands the key to the channel's consumer on every path —
+// ownership transfer, like a return.
+func SendTransfer(ch chan []byte) {
+	k := newKey()
+	use(k)
+	ch <- k
+}
+
+// SendAnonymous sends a freshly minted key without binding it; the
+// consumer owns it from the first instruction, so nothing leaks.
+func SendAnonymous(ch chan []byte) {
+	ch <- newKey()
+}
+
+// GoWipe spawns the release itself: the marked sink runs on the
+// goroutine, and the spawn statement guarantees it on every path.
+func GoWipe() {
+	k := newKey()
+	use(k)
+	go wipe(k)
+}
+
+// GoroutineDeferClean combines both: a goroutine-local key released by a
+// defer registered before the closure's error-style branch.
+func GoroutineDeferClean(cond bool) {
+	go func() {
+		k := newKey()
+		defer wipe(k)
+		if cond {
+			return
+		}
+		use(k)
+	}()
+}

@@ -694,8 +694,8 @@ func (ld *loader) collectSources(path string, files []*ast.File, info *types.Inf
 							idx, fn.FullName(), sig.Params().Len())
 					}
 					par := sig.Params().At(idx).Type()
-					if s, ok := par.Underlying().(*types.Slice); !ok || !isByte(s.Elem()) {
-						return fmt.Errorf("//memlint:sink param=%d on %s: parameter type %s is not a byte slice",
+					if !isReleasable(par) {
+						return fmt.Errorf("//memlint:sink param=%d on %s: parameter type %s is not a byte slice or *math/big.Int",
 							idx, fn.FullName(), par)
 					}
 					ld.ses.sinks[fn.FullName()] = idx
@@ -709,4 +709,23 @@ func (ld *loader) collectSources(path string, files []*ast.File, info *types.Inf
 func isByte(t types.Type) bool {
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Kind() == types.Byte
+}
+
+// isReleasable reports whether t is a type a zeroizing sink can take: a
+// byte slice, or a *math/big.Int (whose limb slice is the buffer the key
+// material actually lives in).
+func isReleasable(t types.Type) bool {
+	if s, ok := t.Underlying().(*types.Slice); ok && isByte(s.Elem()) {
+		return true
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "math/big" && obj.Name() == "Int"
 }

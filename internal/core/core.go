@@ -8,7 +8,10 @@
 //   - every copy-minimizing level promises AT MOST ONE copy of each key
 //     part in allocated memory, on an mlocked page;
 //   - the integrated level additionally promises an empty page cache (no
-//     PEM) and a clean swap device.
+//     PEM) and a clean swap device;
+//   - the sealed level additionally promises ZERO plaintext key copies in
+//     allocated memory: outside a private operation's decrypt window the
+//     region holds only ciphertext, so no part pattern may match at all.
 //
 // The Auditor is what tests, examples and the integration suite use to turn
 // the paper's prose claims into enforced invariants — and what a deployment
@@ -135,6 +138,18 @@ func (a *Auditor) auditAt(level protect.Level, patterns []scan.Pattern) *Report 
 			rep.Violations = append(rep.Violations, fmt.Sprintf(
 				"%d key matches on the swap device; mlocked keys must never swap",
 				rep.SwapHits))
+		}
+	}
+	if level.SealsAtRest() {
+		// The audit runs between operations, when the working window is
+		// closed: a sealed key is ciphertext, so even the single mlocked
+		// copy the weaker levels tolerate must not match.
+		for _, part := range []scan.Part{scan.PartD, scan.PartP, scan.PartQ} {
+			if n := rep.PerPartAllocated[part]; n > 0 {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"%d allocated plaintext copies of %s; sealed-at-rest guarantees ciphertext outside the decrypt window",
+					n, part))
+			}
 		}
 	}
 	if level.EvictsPEM() && rep.PerPartAllocated[scan.PartPEM] > 0 {

@@ -262,6 +262,16 @@ func ParsePEM(data []byte) (*PrivateKey, error) {
 	return ParseDER(body)
 }
 
+// Zeroize scrubs the six private components' limb buffers in place and
+// resets them to zero, leaving only the public half intact. Call it when a
+// materialized key's working window closes (ssl sealed operations); a key
+// with nil components is a no-op.
+func (k *PrivateKey) Zeroize() {
+	for _, v := range []*big.Int{k.D, k.P, k.Q, k.Dp, k.Dq, k.Qinv} {
+		scrub.Big(v)
+	}
+}
+
 // Equal reports whether two private keys have identical components.
 func (k *PrivateKey) Equal(o *PrivateKey) bool {
 	if o == nil {

@@ -1,0 +1,272 @@
+// Package seal keeps a key's aligned heap region encrypted at rest —
+// the mechanism behind protect.LevelSealed, following MemShield-style
+// software memory encryption and the prekey/derived-sealing-key idiom.
+//
+// A Region wraps an already-mapped, mlocked span of one process's heap
+// (in practice: the aligned region ssl.MemoryAlign built). At rest the
+// span holds AES-CTR ciphertext under a per-epoch key derived from a
+// 256-bit prekey; an HMAC-SHA256 tag authenticates it. The prekey, the
+// epoch counter and the tag live in the Region struct itself — native Go
+// memory standing in for the out-of-RAM anchor (debug registers, an HSM)
+// that the sealing literature assumes; the simulated physical memory the
+// scanner and the attacks see never holds them.
+//
+// Every private-key operation runs inside a working window:
+//
+//	unseal (decrypt in place)  →  use  →  reseal (re-encrypt in place)
+//
+// Reseal advances the epoch, so each window leaves a fresh ciphertext —
+// zeroize-on-reseal falls out of encrypting in place: the plaintext
+// bytes are overwritten by the new ciphertext, never copied aside.
+//
+// The two failure sites are fail-closed in the direction the paper's
+// discipline demands (leak pages, not contents):
+//
+//   - SiteUnseal fires before any plaintext byte is written back. The
+//     region stays ciphertext and the operation is refused — a transient
+//     denial that degrades nothing.
+//   - SiteSeal fires before any new ciphertext is written. The open
+//     plaintext cannot be left behind, so the region is scrubbed to
+//     zeros and destroyed; the key is gone and the caller must degrade
+//     GuaranteeSealedAtRest (a refusal-not-plaintext downgrade).
+package seal
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"memshield/internal/fault"
+	"memshield/internal/kernel/vm"
+	"memshield/internal/libc"
+	"memshield/internal/scrub"
+)
+
+// Errors reported by the package.
+var (
+	// ErrUnseal marks a refused decrypt: the region is still sealed and
+	// intact, and the operation simply did not run.
+	ErrUnseal = errors.New("seal: unseal refused")
+	// ErrReseal marks a failed re-encrypt: the plaintext window could not
+	// be closed, so the region was scrubbed and destroyed.
+	ErrReseal = errors.New("seal: reseal failed")
+	// ErrDestroyed marks use of a region after a failed reseal destroyed
+	// it (or after Invalidate).
+	ErrDestroyed = errors.New("seal: region destroyed")
+	// ErrTag marks a ciphertext authentication failure on unseal.
+	ErrTag = errors.New("seal: ciphertext authentication failed")
+	// ErrOpen marks a nested window attempt.
+	ErrOpen = errors.New("seal: region already open")
+)
+
+// Stats counts a region's window activity.
+type Stats struct {
+	// Unseals is the number of successful decrypts into a window.
+	Unseals int
+	// Reseals is the number of successful re-encrypts closing a window.
+	Reseals int
+}
+
+// Region is one sealed span of a process's heap.
+type Region struct {
+	heap *libc.Heap
+	inj  *fault.Injector
+	base vm.VAddr
+	n    int
+
+	// Host-side anchor state (never in simulated memory): the prekey the
+	// per-epoch sealing keys derive from, the epoch counter, and the
+	// HMAC tag of the current ciphertext.
+	prekey [32]byte
+	epoch  uint64
+	tag    [32]byte
+
+	open      bool
+	destroyed bool
+	cause     error
+	stats     Stats
+}
+
+// New seals the n bytes at base in place: the current plaintext contents
+// are encrypted under epoch 0 of a fresh prekey drawn from prekeyRand
+// (pass a deterministic reader for reproducible runs). inj may be nil.
+func New(heap *libc.Heap, inj *fault.Injector, base vm.VAddr, n int, prekeyRand io.Reader) (*Region, error) {
+	if heap == nil || n <= 0 {
+		return nil, fmt.Errorf("seal: bad region (%d bytes)", n)
+	}
+	r := &Region{heap: heap, inj: inj, base: base, n: n}
+	if _, err := io.ReadFull(prekeyRand, r.prekey[:]); err != nil {
+		return nil, fmt.Errorf("seal: prekey: %w", err)
+	}
+	if err := r.encryptInPlace(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// derive computes the epoch's sealing-key material: HMAC(prekey, label ||
+// epoch), truncated to size. The caller owns (and must scrub) the result.
+func (r *Region) derive(label string, size int) []byte {
+	var e [8]byte
+	binary.BigEndian.PutUint64(e[:], r.epoch)
+	m := hmac.New(sha256.New, r.prekey[:])
+	m.Write([]byte(label))
+	m.Write(e[:])
+	sum := m.Sum(nil)
+	return sum[:size]
+}
+
+// xorKeystream applies the epoch's AES-CTR keystream to buf in place —
+// one call encrypts, the next decrypts.
+func (r *Region) xorKeystream(buf []byte) error {
+	key := r.derive("memshield-seal-enc", 32)
+	defer scrub.Bytes(key)
+	iv := r.derive("memshield-seal-iv", aes.BlockSize)
+	defer scrub.Bytes(iv)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return fmt.Errorf("seal: %w", err)
+	}
+	cipher.NewCTR(block, iv).XORKeyStream(buf, buf)
+	return nil
+}
+
+// mac computes the epoch's ciphertext tag.
+func (r *Region) mac(ciphertext []byte) [32]byte {
+	key := r.derive("memshield-seal-tag", 32)
+	defer scrub.Bytes(key)
+	m := hmac.New(sha256.New, key)
+	m.Write(ciphertext)
+	var tag [32]byte
+	m.Sum(tag[:0])
+	return tag
+}
+
+// encryptInPlace reads the region's plaintext, overwrites it with the
+// current epoch's ciphertext, and records the tag.
+func (r *Region) encryptInPlace() error {
+	buf, err := r.heap.Read(r.base, r.n)
+	if err != nil {
+		return fmt.Errorf("seal: %w", err)
+	}
+	// buf transiently holds the plaintext; the in-place XOR turns it into
+	// ciphertext, and the deferred scrub clears whichever it holds on
+	// every exit path.
+	defer scrub.Bytes(buf)
+	if err := r.xorKeystream(buf); err != nil {
+		return err
+	}
+	if err := r.heap.Write(r.base, buf); err != nil {
+		return fmt.Errorf("seal: %w", err)
+	}
+	r.tag = r.mac(buf)
+	return nil
+}
+
+// unseal decrypts the region in place, opening a window. On any failure
+// the region still holds the untouched ciphertext.
+func (r *Region) unseal() error {
+	if r.destroyed {
+		return fmt.Errorf("%w (%v)", ErrDestroyed, r.cause)
+	}
+	if r.open {
+		return ErrOpen
+	}
+	if err := r.inj.Fail(fault.SiteUnseal); err != nil {
+		return fmt.Errorf("%w: %w", ErrUnseal, err)
+	}
+	buf, err := r.heap.Read(r.base, r.n)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrUnseal, err)
+	}
+	defer scrub.Bytes(buf)
+	if got := r.mac(buf); !hmac.Equal(got[:], r.tag[:]) {
+		return fmt.Errorf("%w: %w", ErrUnseal, ErrTag)
+	}
+	if err := r.xorKeystream(buf); err != nil {
+		return fmt.Errorf("%w: %w", ErrUnseal, err)
+	}
+	if err := r.heap.Write(r.base, buf); err != nil {
+		return fmt.Errorf("%w: %w", ErrUnseal, err)
+	}
+	r.open = true
+	r.stats.Unseals++
+	return nil
+}
+
+// reseal closes the window: the epoch advances and the plaintext is
+// overwritten by the new epoch's ciphertext. If the re-encrypt is denied
+// (SiteSeal) the plaintext must not survive, so the region is zeroed and
+// destroyed — the fail-closed trade of the key's availability for its
+// secrecy.
+func (r *Region) reseal() error {
+	if !r.open {
+		return fmt.Errorf("seal: reseal of a closed region")
+	}
+	if err := r.inj.Fail(fault.SiteSeal); err != nil {
+		return r.destroy(fmt.Errorf("%w: %w", ErrReseal, err))
+	}
+	r.epoch++
+	if err := r.encryptInPlace(); err != nil {
+		return r.destroy(fmt.Errorf("%w: %w", ErrReseal, err))
+	}
+	r.open = false
+	r.stats.Reseals++
+	return nil
+}
+
+// destroy scrubs the open plaintext and marks the region unusable. The
+// zeroing write is a plain VM write (not an injectable site), so the
+// scrub itself cannot be denied; if the region's mapping is somehow gone
+// the pages are already out of reach of the process.
+func (r *Region) destroy(cause error) error {
+	err := r.heap.Zero(r.base, r.n)
+	r.open = false
+	r.destroyed = true
+	r.cause = cause
+	if err != nil {
+		return errors.Join(cause, err)
+	}
+	return cause
+}
+
+// WithOpen runs fn inside a working window: unseal, fn, reseal. An
+// unseal refusal skips fn entirely. A reseal failure is joined onto fn's
+// error so callers observe both the operation's outcome and the
+// destruction (check with errors.Is(err, seal.ErrReseal)).
+func (r *Region) WithOpen(fn func() error) error {
+	if err := r.unseal(); err != nil {
+		return err
+	}
+	ferr := fn()
+	if rerr := r.reseal(); rerr != nil {
+		return errors.Join(ferr, rerr)
+	}
+	return ferr
+}
+
+// Invalidate marks the region destroyed without touching memory — for
+// teardown paths that scrub and unmap the span themselves.
+func (r *Region) Invalidate() {
+	if !r.destroyed {
+		r.destroyed = true
+		r.cause = errors.New("seal: invalidated")
+	}
+}
+
+// Destroyed reports whether the region has been destroyed, and why.
+func (r *Region) Destroyed() (bool, error) { return r.destroyed, r.cause }
+
+// Open reports whether a working window is currently open.
+func (r *Region) Open() bool { return r.open }
+
+// Epoch returns the current sealing epoch (one reseal = one epoch).
+func (r *Region) Epoch() uint64 { return r.epoch }
+
+// Stats returns a snapshot of the window counters.
+func (r *Region) Stats() Stats { return r.stats }

@@ -1,0 +1,208 @@
+package seal_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"memshield/internal/crypto/seal"
+	"memshield/internal/fault"
+	"memshield/internal/kernel"
+	"memshield/internal/kernel/alloc"
+	"memshield/internal/kernel/vm"
+	"memshield/internal/libc"
+	"memshield/internal/stats"
+)
+
+// harness maps one page, locks it and fills it with a recognizable
+// plaintext, returning everything a Region needs.
+type harness struct {
+	k     *kernel.Kernel
+	heap  *libc.Heap
+	base  vm.VAddr
+	plain []byte
+}
+
+func newHarness(t *testing.T, plan *fault.Plan) *harness {
+	t.Helper()
+	k, err := kernel.New(kernel.Config{MemPages: 512, DeallocPolicy: alloc.PolicyRetain, FaultPlan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := k.Spawn(0, "sealtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := libc.New(k, pid)
+	base, err := h.Memalign(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Mlock(base); err != nil {
+		t.Fatal(err)
+	}
+	plain := make([]byte, 96)
+	for i := range plain {
+		plain[i] = byte(i*7 + 3)
+	}
+	if err := h.Write(base, plain); err != nil {
+		t.Fatal(err)
+	}
+	return &harness{k: k, heap: h, base: base, plain: plain}
+}
+
+func (h *harness) read(t *testing.T, n int) []byte {
+	t.Helper()
+	b, err := h.heap.Read(h.base, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSealRoundTrip(t *testing.T) {
+	h := newHarness(t, nil)
+	r, err := seal.New(h.heap, nil, h.base, len(h.plain), stats.NewReader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct0 := h.read(t, len(h.plain))
+	if bytes.Equal(ct0, h.plain) {
+		t.Fatal("region still plaintext after New")
+	}
+	// Inside the window the exact plaintext is back; outside it is a fresh
+	// ciphertext (the epoch advanced, so not even the old ciphertext).
+	err = r.WithOpen(func() error {
+		if got := h.read(t, len(h.plain)); !bytes.Equal(got, h.plain) {
+			t.Fatal("window does not expose the plaintext")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct1 := h.read(t, len(h.plain))
+	if bytes.Equal(ct1, h.plain) || bytes.Equal(ct1, ct0) {
+		t.Fatal("reseal did not produce a fresh ciphertext")
+	}
+	if err := r.WithOpen(func() error {
+		if got := h.read(t, len(h.plain)); !bytes.Equal(got, h.plain) {
+			t.Fatal("second window does not expose the plaintext")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Unseals != 2 || st.Reseals != 2 || r.Epoch() != 2 {
+		t.Fatalf("stats = %+v epoch = %d, want 2/2/2", st, r.Epoch())
+	}
+}
+
+func TestSealDeterministicCiphertext(t *testing.T) {
+	var images [2][]byte
+	for i := range images {
+		h := newHarness(t, nil)
+		if _, err := seal.New(h.heap, nil, h.base, len(h.plain), stats.NewReader(7)); err != nil {
+			t.Fatal(err)
+		}
+		images[i] = h.read(t, len(h.plain))
+	}
+	if !bytes.Equal(images[0], images[1]) {
+		t.Fatal("same prekey seed should give identical ciphertext")
+	}
+}
+
+func TestSealWindowErrorPassthrough(t *testing.T) {
+	h := newHarness(t, nil)
+	r, err := seal.New(h.heap, nil, h.base, len(h.plain), stats.NewReader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("op failed")
+	if err := r.WithOpen(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the fn error", err)
+	}
+	// The window still closed: the region must be sealed again.
+	if r.Open() {
+		t.Fatal("window left open after fn error")
+	}
+	if got := h.read(t, len(h.plain)); bytes.Equal(got, h.plain) {
+		t.Fatal("plaintext left behind after fn error")
+	}
+}
+
+func TestSealTamperDetected(t *testing.T) {
+	h := newHarness(t, nil)
+	r, err := seal.New(h.heap, nil, h.base, len(h.plain), stats.NewReader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := h.read(t, len(h.plain))
+	ct[5] ^= 0xff
+	if err := h.heap.Write(h.base, ct); err != nil {
+		t.Fatal(err)
+	}
+	err = r.WithOpen(func() error { t.Fatal("fn ran on tampered ciphertext"); return nil })
+	if !errors.Is(err, seal.ErrUnseal) || !errors.Is(err, seal.ErrTag) {
+		t.Fatalf("err = %v, want ErrUnseal+ErrTag", err)
+	}
+	if destroyed, _ := r.Destroyed(); destroyed {
+		t.Fatal("tamper refusal must not destroy the region")
+	}
+}
+
+func TestSealUnsealFaultIsTransient(t *testing.T) {
+	plan := &fault.Plan{Seed: 11, Rules: map[fault.Site]fault.Rule{
+		fault.SiteUnseal: {Nth: []uint64{1}},
+	}}
+	h := newHarness(t, plan)
+	r, err := seal.New(h.heap, h.k.Injector(), h.base, len(h.plain), stats.NewReader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := h.read(t, len(h.plain))
+	err = r.WithOpen(func() error { t.Fatal("fn ran despite unseal denial"); return nil })
+	if !errors.Is(err, seal.ErrUnseal) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want injected ErrUnseal", err)
+	}
+	if got := h.read(t, len(h.plain)); !bytes.Equal(got, ct) {
+		t.Fatal("refused unseal touched the region")
+	}
+	// Call 2 is not scheduled to fail: the key is still usable.
+	if err := r.WithOpen(func() error { return nil }); err != nil {
+		t.Fatalf("recovery window failed: %v", err)
+	}
+}
+
+func TestSealResealFaultDestroysFailClosed(t *testing.T) {
+	plan := &fault.Plan{Seed: 11, Rules: map[fault.Site]fault.Rule{
+		fault.SiteSeal: {Nth: []uint64{1}},
+	}}
+	h := newHarness(t, plan)
+	r, err := seal.New(h.heap, h.k.Injector(), h.base, len(h.plain), stats.NewReader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	err = r.WithOpen(func() error { ran = true; return nil })
+	if !ran {
+		t.Fatal("fn should have run before the reseal fault")
+	}
+	if !errors.Is(err, seal.ErrReseal) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want injected ErrReseal", err)
+	}
+	if destroyed, cause := r.Destroyed(); !destroyed || cause == nil {
+		t.Fatal("failed reseal must destroy the region")
+	}
+	// Fail-closed: pages leak (still mapped, zeroed) but contents do not.
+	got := h.read(t, len(h.plain))
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x after destroy, want 0", i, b)
+		}
+	}
+	if err := r.WithOpen(func() error { return nil }); !errors.Is(err, seal.ErrDestroyed) {
+		t.Fatalf("err = %v, want ErrDestroyed", err)
+	}
+}

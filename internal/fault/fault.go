@@ -63,6 +63,15 @@ const (
 	// SiteMalloc fails libc.Heap.Malloc (and everything built on it:
 	// Calloc, Realloc growth, Memalign) with libc.ErrNoMem.
 	SiteMalloc
+	// SiteUnseal fails seal.Region decryption before any plaintext byte
+	// is written back into the region: the key stays ciphertext and the
+	// operation is refused (a transient denial, not a downgrade).
+	SiteUnseal
+	// SiteSeal fails seal.Region re-encryption at the close of a working
+	// window, before any ciphertext byte is written. The fail-closed
+	// response scrubs the open plaintext and destroys the region — the
+	// region's zeroed pages leak, never the key contents.
+	SiteSeal
 
 	numSites
 )
@@ -83,6 +92,10 @@ func (s Site) String() string {
 		return "fs.ReadFile"
 	case SiteMalloc:
 		return "libc.Malloc"
+	case SiteUnseal:
+		return "seal.Unseal"
+	case SiteSeal:
+		return "seal.Reseal"
 	default:
 		return fmt.Sprintf("Site(%d)", int(s))
 	}

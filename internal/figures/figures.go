@@ -20,6 +20,7 @@
 //	hardware       — integrated software limit vs HSM (§7 conclusion)
 //	lifetime       — key-copy lifetime analytics (Chow et al. metric)
 //	swap           — raw swap-device disclosure: plain vs mlock vs encrypted
+//	sealed         — OpenSSH timeline under sealed key memory (at-rest AEAD)
 package figures
 
 import "fmt"
@@ -202,6 +203,11 @@ func Catalog() []Entry {
 			ID: "swap", Title: "Raw swap-device disclosure: plain vs mlock vs swap encryption",
 			Figures: []string{"§4 swap discussion"},
 			Run:     func(c Config) (Rendered, error) { return SwapSurface(c) },
+		},
+		{
+			ID: "sealed", Title: "OpenSSH timeline under sealed key memory (encrypted at rest)",
+			Figures: []string{"§4 extension"},
+			Run:     timelineRunner(KindSSH, levelSealed),
 		},
 	}
 }

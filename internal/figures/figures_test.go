@@ -15,8 +15,8 @@ func quick() Config {
 
 func TestCatalogIsComplete(t *testing.T) {
 	entries := Catalog()
-	if len(entries) != 24 {
-		t.Fatalf("catalog entries = %d, want 24", len(entries))
+	if len(entries) != 25 {
+		t.Fatalf("catalog entries = %d, want 25", len(entries))
 	}
 	seen := make(map[string]bool)
 	covered := make(map[string]bool)

@@ -33,6 +33,7 @@ const (
 	levelLibrary    = protect.LevelLibrary
 	levelKernel     = protect.LevelKernel
 	levelIntegrated = protect.LevelIntegrated
+	levelSealed     = protect.LevelSealed
 )
 
 // keyPath is where sweeps install the server key.

@@ -19,6 +19,13 @@
 //
 // Every recovered key is validated and checked against the public key, so a
 // successful Search is a working end-to-end compromise, not a pattern match.
+//
+// Against sealed key memory (protect.LevelSealed) all three techniques come
+// up empty by construction: between operations the key region holds AEAD
+// ciphertext, which carries no PEM armor, no parseable DER structure, and —
+// because the sealing keystream is independent of the key — no window that
+// divides the public modulus. A dump taken outside the decrypt window is
+// unrecoverable even with unbounded factor scanning.
 package keyfinder
 
 import (

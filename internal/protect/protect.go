@@ -16,6 +16,11 @@
 //   - LevelSecureDealloc: the Chow et al. "secure deallocation" baseline
 //     (zeroing within a short, predictable period after free), included as
 //     the comparison ablation for the paper's "strictly better" claim.
+//   - LevelSealed: beyond the paper — everything Integrated does, plus the
+//     key's aligned region is kept encrypted at rest (MemShield-style
+//     sealing, internal/crypto/seal) and decrypted only inside a
+//     per-operation working window, so even the one residual copy the
+//     paper's strongest level leaves is ciphertext to a scanner.
 package protect
 
 import (
@@ -36,11 +41,13 @@ const (
 	LevelKernel
 	LevelIntegrated
 	LevelSecureDealloc
+	LevelSealed
 )
 
-// All returns every level, in paper order.
+// All returns every level, in paper order (the beyond-paper sealed level
+// comes last, as the strongest).
 func All() []Level {
-	return []Level{LevelNone, LevelApp, LevelLibrary, LevelKernel, LevelIntegrated, LevelSecureDealloc}
+	return []Level{LevelNone, LevelApp, LevelLibrary, LevelKernel, LevelIntegrated, LevelSecureDealloc, LevelSealed}
 }
 
 func (l Level) String() string {
@@ -57,6 +64,8 @@ func (l Level) String() string {
 		return "integrated"
 	case LevelSecureDealloc:
 		return "secure-dealloc"
+	case LevelSealed:
+		return "sealed"
 	default:
 		return fmt.Sprintf("Level(%d)", int(l))
 	}
@@ -64,13 +73,13 @@ func (l Level) String() string {
 
 // Valid reports whether l names a defined level.
 func (l Level) Valid() bool {
-	return l >= LevelNone && l <= LevelSecureDealloc
+	return l >= LevelNone && l <= LevelSealed
 }
 
 // KernelPolicy returns the page-deallocation policy the level requires.
 func (l Level) KernelPolicy() alloc.Policy {
 	switch l {
-	case LevelKernel, LevelIntegrated:
+	case LevelKernel, LevelIntegrated, LevelSealed:
 		return alloc.PolicyZeroOnFree
 	case LevelSecureDealloc:
 		return alloc.PolicySecureDealloc
@@ -81,7 +90,7 @@ func (l Level) KernelPolicy() alloc.Policy {
 
 // OpenFlags returns the open(2) flags servers use for the key file.
 func (l Level) OpenFlags() fs.OpenFlag {
-	if l == LevelIntegrated {
+	if l == LevelIntegrated || l == LevelSealed {
 		return fs.ONoCache
 	}
 	return 0
@@ -90,7 +99,7 @@ func (l Level) OpenFlags() fs.OpenFlag {
 // AlignAtLoad reports whether the patched library aligns inside
 // d2i_PrivateKey.
 func (l Level) AlignAtLoad() bool {
-	return l == LevelLibrary || l == LevelIntegrated
+	return l == LevelLibrary || l == LevelIntegrated || l == LevelSealed
 }
 
 // AppAlign reports whether the application itself calls RSA_memory_align
@@ -101,21 +110,26 @@ func (l Level) AppAlign() bool { return l == LevelApp }
 // the master's (aligned) key is COW-inherited instead of reloaded per
 // connection. Required by every copy-minimizing level.
 func (l Level) NoReexec() bool {
-	return l == LevelApp || l == LevelLibrary || l == LevelIntegrated
+	return l == LevelApp || l == LevelLibrary || l == LevelIntegrated || l == LevelSealed
 }
 
 // MinimizesCopies reports whether the level keeps the key single-copy in
 // allocated memory.
 func (l Level) MinimizesCopies() bool {
-	return l == LevelApp || l == LevelLibrary || l == LevelIntegrated
+	return l == LevelApp || l == LevelLibrary || l == LevelIntegrated || l == LevelSealed
 }
 
 // ZeroesUnallocated reports whether the level guarantees key-free
 // unallocated memory (secure-dealloc guarantees it only after its deferred
 // window).
 func (l Level) ZeroesUnallocated() bool {
-	return l == LevelKernel || l == LevelIntegrated || l == LevelSecureDealloc
+	return l == LevelKernel || l == LevelIntegrated || l == LevelSecureDealloc || l == LevelSealed
 }
 
 // EvictsPEM reports whether the PEM file is kept out of the page cache.
-func (l Level) EvictsPEM() bool { return l == LevelIntegrated }
+func (l Level) EvictsPEM() bool { return l == LevelIntegrated || l == LevelSealed }
+
+// SealsAtRest reports whether the key's aligned region is kept encrypted
+// between operations (internal/crypto/seal), so a scanner outside the
+// working window sees only ciphertext.
+func (l Level) SealsAtRest() bool { return l == LevelSealed }

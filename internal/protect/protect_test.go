@@ -25,6 +25,7 @@ func TestLevelProperties(t *testing.T) {
 		{LevelKernel, alloc.PolicyZeroOnFree, 0, false, false, false, false, true, false},
 		{LevelIntegrated, alloc.PolicyZeroOnFree, fs.ONoCache, true, false, true, true, true, true},
 		{LevelSecureDealloc, alloc.PolicySecureDealloc, 0, false, false, false, false, true, false},
+		{LevelSealed, alloc.PolicyZeroOnFree, fs.ONoCache, true, false, true, true, true, true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.level.String(), func(t *testing.T) {
@@ -61,8 +62,8 @@ func TestLevelProperties(t *testing.T) {
 
 func TestAllCoversEveryLevel(t *testing.T) {
 	all := All()
-	if len(all) != 6 {
-		t.Fatalf("All() = %d levels, want 6", len(all))
+	if len(all) != 7 {
+		t.Fatalf("All() = %d levels, want 7", len(all))
 	}
 	seen := make(map[Level]bool)
 	for _, l := range all {

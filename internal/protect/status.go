@@ -29,6 +29,10 @@ const (
 	GuaranteeZeroesUnallocated
 	// GuaranteePEMEvicted: the PEM key file leaves no page-cache trace.
 	GuaranteePEMEvicted
+	// GuaranteeSealedAtRest: between operations the key's resident copy is
+	// ciphertext under a prekey-derived sealing key; a scanner outside the
+	// working window recovers nothing.
+	GuaranteeSealedAtRest
 )
 
 func (g Guarantee) String() string {
@@ -41,6 +45,8 @@ func (g Guarantee) String() string {
 		return "zeroes-unallocated"
 	case GuaranteePEMEvicted:
 		return "pem-evicted"
+	case GuaranteeSealedAtRest:
+		return "sealed-at-rest"
 	default:
 		return fmt.Sprintf("Guarantee(%d)", int(g))
 	}
@@ -59,6 +65,9 @@ func (l Level) Promises() []Guarantee {
 	if l.EvictsPEM() {
 		out = append(out, GuaranteePEMEvicted)
 	}
+	if l.SealsAtRest() {
+		out = append(out, GuaranteeSealedAtRest)
+	}
 	return out
 }
 
@@ -70,6 +79,8 @@ func (l Level) Promises() []Guarantee {
 // run can only fall to None.
 func (l Level) fallbacks() []Level {
 	switch l {
+	case LevelSealed:
+		return []Level{LevelSealed, LevelIntegrated, LevelLibrary, LevelKernel, LevelNone}
 	case LevelIntegrated:
 		return []Level{LevelIntegrated, LevelLibrary, LevelKernel, LevelNone}
 	case LevelLibrary:
@@ -165,7 +176,7 @@ func (s *Status) Summary() string {
 		return fmt.Sprintf("intact at %s", eff)
 	}
 	out := fmt.Sprintf("configured %s, effective %s", s.configured, eff)
-	for _, g := range []Guarantee{GuaranteeCopyMinimized, GuaranteeNoSwap, GuaranteeZeroesUnallocated, GuaranteePEMEvicted} {
+	for _, g := range []Guarantee{GuaranteeCopyMinimized, GuaranteeNoSwap, GuaranteeZeroesUnallocated, GuaranteePEMEvicted, GuaranteeSealedAtRest} {
 		if reason, ok := s.degraded[g]; ok {
 			out += fmt.Sprintf("; %s lost: %s", g, reason)
 		}

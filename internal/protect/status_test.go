@@ -36,6 +36,12 @@ func TestPromisesPerLevel(t *testing.T) {
 	if len(LevelIntegrated.Promises()) != 4 {
 		t.Fatalf("integrated promises %v, want all four", LevelIntegrated.Promises())
 	}
+	if !has(LevelSealed, GuaranteeSealedAtRest) || len(LevelSealed.Promises()) != 5 {
+		t.Fatalf("sealed promises %v, want integrated's four plus sealed-at-rest", LevelSealed.Promises())
+	}
+	if has(LevelIntegrated, GuaranteeSealedAtRest) {
+		t.Fatal("integrated must not promise sealed-at-rest")
+	}
 }
 
 func TestEffectiveIntactEqualsConfigured(t *testing.T) {
@@ -66,6 +72,13 @@ func TestEffectiveDowngradeChains(t *testing.T) {
 		// Losing a guarantee a level never promised costs nothing.
 		{LevelKernel, GuaranteeNoSwap, LevelKernel},
 		{LevelApp, GuaranteePEMEvicted, LevelApp},
+		// A destroyed seal falls back to Integrated honestly (the region
+		// is scrubbed, so every weaker claim still holds)…
+		{LevelSealed, GuaranteeSealedAtRest, LevelIntegrated},
+		// …while a sealed run losing an Integrated-tier guarantee skips
+		// Integrated on the chain.
+		{LevelSealed, GuaranteeZeroesUnallocated, LevelLibrary},
+		{LevelSealed, GuaranteeCopyMinimized, LevelKernel},
 	}
 	for _, c := range cases {
 		st := NewStatus(c.configured)
@@ -79,9 +92,9 @@ func TestEffectiveDowngradeChains(t *testing.T) {
 func TestEffectiveNeverExceedsConfigured(t *testing.T) {
 	order := map[Level]int{
 		LevelNone: 0, LevelSecureDealloc: 1, LevelKernel: 2,
-		LevelApp: 3, LevelLibrary: 3, LevelIntegrated: 4,
+		LevelApp: 3, LevelLibrary: 3, LevelIntegrated: 4, LevelSealed: 5,
 	}
-	all := []Guarantee{GuaranteeCopyMinimized, GuaranteeNoSwap, GuaranteeZeroesUnallocated, GuaranteePEMEvicted}
+	all := []Guarantee{GuaranteeCopyMinimized, GuaranteeNoSwap, GuaranteeZeroesUnallocated, GuaranteePEMEvicted, GuaranteeSealedAtRest}
 	for _, l := range All() {
 		for mask := 0; mask < 1<<len(all); mask++ {
 			st := NewStatus(l)

@@ -13,6 +13,12 @@
 // whose output is byte-identical at any worker count, and an incremental
 // per-frame cache driven by the mem package's write generations, so a
 // Scanner carried across timeline ticks re-walks only dirty frames.
+//
+// Sealed key memory (protect.LevelSealed) is invisible to this scanner by
+// design: between operations the aligned region holds ciphertext, which
+// never matches the plaintext d/P/Q patterns. A zero-match scan at the
+// sealed level is therefore the expected ground truth, and core.Auditor
+// treats any plaintext match under that level as a violation.
 package scan
 
 import (

@@ -15,6 +15,8 @@
 // obligation). See DESIGN.md §6.
 package scrub
 
+import "math/big"
+
 // Bytes zeroizes b in place. A nil or empty slice is a no-op, so it is
 // safe to defer immediately after a fallible producer:
 //
@@ -24,4 +26,23 @@ package scrub
 //memlint:sink param=0
 func Bytes(b []byte) {
 	clear(b)
+}
+
+// Big zeroizes the limbs of a big.Int in place and resets its value to 0.
+// The limb slice is the native-heap buffer a *big.Int actually keeps key
+// material in — garbage collection never clears it, so code that builds a
+// big.Int from key bytes (SetBytes on a DER integer, ssl.BigNum.Int) must
+// release it here on every path that does not hand the value on. A nil
+// pointer or zero value is a no-op, mirroring Bytes.
+//
+//memlint:sink param=0
+func Big(v *big.Int) {
+	if v == nil {
+		return
+	}
+	bits := v.Bits()
+	for i := range bits {
+		bits[i] = 0
+	}
+	v.SetInt64(0)
 }

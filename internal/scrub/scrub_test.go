@@ -1,6 +1,7 @@
 package scrub_test
 
 import (
+	"math/big"
 	"testing"
 
 	"memshield/internal/scrub"
@@ -19,6 +20,25 @@ func TestBytesZeroizes(t *testing.T) {
 func TestBytesNilAndEmpty(t *testing.T) {
 	scrub.Bytes(nil) // must not panic: the defer-before-error-check idiom relies on it
 	scrub.Bytes([]byte{})
+}
+
+func TestBigZeroizesLimbs(t *testing.T) {
+	v := new(big.Int).SetBytes([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03})
+	limbs := v.Bits() // aliases the live limb buffer
+	scrub.Big(v)
+	for i, w := range limbs {
+		if w != 0 {
+			t.Fatalf("limb %d = %#x after scrub", i, w)
+		}
+	}
+	if v.Sign() != 0 {
+		t.Fatalf("value = %v after scrub, want 0", v)
+	}
+}
+
+func TestBigNilAndZero(t *testing.T) {
+	scrub.Big(nil) // must not panic: the scrub-on-error-path idiom relies on it
+	scrub.Big(new(big.Int))
 }
 
 func TestBytesScrubsSharedBacking(t *testing.T) {

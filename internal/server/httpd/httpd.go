@@ -207,6 +207,17 @@ func Start(k *kernel.Kernel, cfg Config) (*Server, error) {
 			return nil, s.refuse(errors.Join(
 				fmt.Errorf("httpd: config pass: %w", err), parentRSA.Free(true)))
 		}
+		if cfg.Level.SealsAtRest() {
+			// Seal the operational key once the config pass settles (the
+			// throwaway first generation is already scrubbed). The prekey
+			// stream is derived from the server seed (sub-stream 4; nonces
+			// use the raw seed). A seal that cannot be established leaves
+			// plaintext behind — scrub it and refuse.
+			if err := parentRSA.SealAtRest(stats.NewReader(stats.DeriveSeed(cfg.Seed, 4)), k.Injector()); err != nil {
+				return nil, s.refuse(errors.Join(
+					fmt.Errorf("httpd: TLS key: %w", err), parentRSA.Free(true)))
+			}
+		}
 		s.parentRSA = parentRSA
 	}
 	for i := 0; i < cfg.StartServers; i++ {
@@ -273,9 +284,16 @@ func (s *Server) forkWorker() (*worker, error) {
 	}
 	heap := s.parentHeap.Clone(pid)
 	w := &worker{pid: pid, heap: heap}
-	if s.cfg.HSM != nil {
+	switch {
+	case s.cfg.HSM != nil:
 		w.key = s.hsmKey
-	} else {
+	case s.cfg.Level.SealsAtRest():
+		// Sealed key: the worker COW-shares only ciphertext and delegates
+		// every private operation to the parent (the HSM pattern) — the
+		// decrypt window only ever opens in the parent's address space,
+		// whose writes COW-split privately away from the pool.
+		w.key = softwareBackend(s.parentRSA)
+	default:
 		w.key = softwareBackend(s.parentRSA.CloneFor(heap))
 	}
 	s.workers = append(s.workers, w)
@@ -359,6 +377,7 @@ func (s *Server) Connect() (int, error) {
 		fresh = true
 	}
 	if err := s.handshake(w); err != nil {
+		s.noteSealCompromise()
 		if fresh {
 			// Roll the just-forked worker back out of the pool: a failed
 			// first handshake may have left a partially built Montgomery
@@ -373,6 +392,20 @@ func (s *Server) Connect() (int, error) {
 	s.conns[s.nextConn] = w
 	s.stats.Connections++
 	return s.nextConn, nil
+}
+
+// noteSealCompromise records the sealed-at-rest downgrade after a failed
+// reseal destroyed the parent key: the region was scrubbed (refusal, not
+// plaintext), so every weaker guarantee still holds, but the sealed claim
+// is gone and further handshakes will be refused.
+func (s *Server) noteSealCompromise() {
+	if s.parentRSA == nil {
+		return
+	}
+	if compromised, cause := s.parentRSA.SealCompromised(); compromised {
+		s.status.Degrade(protect.GuaranteeSealedAtRest,
+			fmt.Sprintf("reseal failed, key destroyed fail-closed: %v", cause))
+	}
 }
 
 // handshake models the TLS RSA key exchange in the worker: decrypt the

@@ -211,6 +211,16 @@ func loadHostKey(k *kernel.Kernel, heap *libc.Heap, cfg Config) (*ssl.RSA, error
 			return nil, fmt.Errorf("sshd: host key: %w", err)
 		}
 	}
+	if cfg.Level.SealsAtRest() {
+		// Encrypt the aligned region at rest. The prekey stream is derived
+		// from the server seed (sub-stream 4; the nonce stream uses the raw
+		// seed), so a given config always seals to the same ciphertext. A
+		// seal that cannot be established leaves plaintext behind — scrub
+		// it and refuse.
+		if err := r.SealAtRest(stats.NewReader(stats.DeriveSeed(cfg.Seed, 4)), k.Injector()); err != nil {
+			return nil, errors.Join(fmt.Errorf("sshd: host key: %w", err), r.Free(true))
+		}
+	}
 	return r, nil
 }
 
@@ -245,6 +255,7 @@ func (s *Server) Connect() (int, error) {
 	// key copies, then exit the child, so no spawned process outlives a
 	// failed Connect holding key material. Rollback errors join the cause.
 	abort := func(cause error) (int, error) {
+		s.noteSealCompromise()
 		errs := []error{cause}
 		if childRSA != nil {
 			errs = append(errs, childRSA.Free(true))
@@ -262,6 +273,19 @@ func (s *Server) Connect() (int, error) {
 		c.pid = pid
 		c.heap = s.masterHeap.Clone(pid)
 		c.key = s.hsmKey
+	case s.cfg.Level.SealsAtRest():
+		// Sealed key: the child is a plain fork, but instead of touching
+		// the COW-shared region itself it delegates every private
+		// operation to the master (the HSM pattern) — only the master's
+		// address space ever holds the decrypt window, and the children
+		// keep COW-shared ciphertext.
+		pid, err := s.k.Fork(s.masterPID, "sshd-child")
+		if err != nil {
+			return 0, fmt.Errorf("sshd: connect: %w", err)
+		}
+		c.pid = pid
+		c.heap = s.masterHeap.Clone(pid)
+		c.key = softwareBackend(s.masterRSA)
 	case s.cfg.Level.NoReexec() || s.cfg.Tweaks.NoReexec:
 		// -r: plain fork; the child COW-shares the master's key.
 		pid, err := s.k.Fork(s.masterPID, "sshd-child")
@@ -307,6 +331,20 @@ func (s *Server) Connect() (int, error) {
 	s.conns[c.id] = c
 	s.stats.Connections++
 	return c.id, nil
+}
+
+// noteSealCompromise records the sealed-at-rest downgrade after a failed
+// reseal destroyed the master key: the region was scrubbed (refusal, not
+// plaintext), so every weaker guarantee still holds, but the sealed claim
+// is gone and further handshakes will be refused.
+func (s *Server) noteSealCompromise() {
+	if s.masterRSA == nil {
+		return
+	}
+	if compromised, cause := s.masterRSA.SealCompromised(); compromised {
+		s.status.Degrade(protect.GuaranteeSealedAtRest,
+			fmt.Sprintf("reseal failed, key destroyed fail-closed: %v", cause))
+	}
 }
 
 // handshake models the SSH2 key exchange: client and server derive an

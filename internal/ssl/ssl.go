@@ -25,9 +25,12 @@ package ssl
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 
 	"memshield/internal/crypto/rsakey"
+	"memshield/internal/crypto/seal"
+	"memshield/internal/fault"
 	"memshield/internal/kernel/vm"
 	"memshield/internal/libc"
 	"memshield/internal/mem"
@@ -122,6 +125,11 @@ type RSA struct {
 	// Aligned region from MemoryAlign.
 	aligned      vm.VAddr
 	alignedPages int
+
+	// sealed, when non-nil, keeps the aligned region encrypted at rest
+	// (protect.LevelSealed); every private operation runs inside its
+	// unseal→use→reseal window.
+	sealed *seal.Region
 
 	freed bool
 }
@@ -400,57 +408,137 @@ func (r *RSA) ensureMontCache() error {
 	return r.heap.Write(r.montQ, qBytes)
 }
 
-// PrivateOp computes input^d mod n via CRT, reading every key part out of
-// simulated memory (so a corrupted or scrubbed key genuinely fails). It is
-// the primitive under both "decrypt the client's session-key blob" and
-// "sign".
-func (r *RSA) PrivateOp(input []byte) ([]byte, error) {
+// SealAtRest seals the aligned region (internal/crypto/seal): from here on
+// the six key parts are ciphertext between operations, and PrivateOp /
+// SignPKCS1v15 open a working window around each use. Requires MemoryAlign
+// first — sealing individually malloc'd BIGNUMs would still leave the
+// Montgomery cache and heap churn unprotected, so only the single-region
+// layout is sealable. The prekey is drawn from prekeyRand; inj (may be
+// nil) arms the SiteUnseal/SiteSeal fault sites.
+func (r *RSA) SealAtRest(prekeyRand io.Reader, inj *fault.Injector) error {
+	if r.freed {
+		return ErrFreed
+	}
+	if !r.Aligned() {
+		return ErrNotAligned
+	}
+	if r.sealed != nil {
+		return nil
+	}
+	total := 0
+	for _, bn := range r.Parts() {
+		total += bn.size
+	}
+	region, err := seal.New(r.heap, inj, r.aligned, total, prekeyRand)
+	if err != nil {
+		return fmt.Errorf("ssl: seal: %w", err)
+	}
+	r.sealed = region
+	return nil
+}
+
+// SealedAtRest reports whether the key is sealed between operations.
+func (r *RSA) SealedAtRest() bool { return r.sealed != nil }
+
+// SealCompromised reports whether a failed reseal destroyed the sealed
+// region (the key is gone; its pages were scrubbed, never left plaintext),
+// and the original cause.
+func (r *RSA) SealCompromised() (bool, error) {
+	if r.sealed == nil {
+		return false, nil
+	}
+	return r.sealed.Destroyed()
+}
+
+// SealStats returns the sealed region's window counters (zero if unsealed).
+func (r *RSA) SealStats() seal.Stats {
+	if r.sealed == nil {
+		return seal.Stats{}
+	}
+	return r.sealed.Stats()
+}
+
+// withKey runs fn on the materialized host-side key, inside the seal
+// window when the key is sealed at rest. In the sealed path the
+// materialized big.Int copies are scrubbed before the window closes —
+// the window is exactly where a missed host-side copy would hide.
+func (r *RSA) withKey(fn func(*rsakey.PrivateKey) ([]byte, error)) ([]byte, error) {
 	if r.freed {
 		return nil, ErrFreed
 	}
 	if r.d == nil {
 		return nil, ErrNoPrivate
 	}
-	if err := r.ensureMontCache(); err != nil {
-		return nil, err
+	if r.sealed == nil {
+		if err := r.ensureMontCache(); err != nil {
+			return nil, err
+		}
+		key, err := r.materialize()
+		if err != nil {
+			return nil, err
+		}
+		return fn(key)
 	}
-	key, err := r.materialize()
+	var out []byte
+	err := r.sealed.WithOpen(func() error {
+		key, kerr := r.materialize()
+		if kerr != nil {
+			return kerr
+		}
+		defer key.Zeroize()
+		var ferr error
+		out, ferr = fn(key)
+		return ferr
+	})
 	if err != nil {
 		return nil, err
 	}
-	return key.SignCRT(input)
+	return out, nil
+}
+
+// PrivateOp computes input^d mod n via CRT, reading every key part out of
+// simulated memory (so a corrupted or scrubbed key genuinely fails). It is
+// the primitive under both "decrypt the client's session-key blob" and
+// "sign".
+func (r *RSA) PrivateOp(input []byte) ([]byte, error) {
+	return r.withKey(func(key *rsakey.PrivateKey) ([]byte, error) {
+		return key.SignCRT(input)
+	})
 }
 
 // SignPKCS1v15 produces an RSASSA-PKCS1-v1_5/SHA-256 signature using the
 // key bytes in simulated memory (the host-key proof path), with the same
 // cache behaviour as PrivateOp.
 func (r *RSA) SignPKCS1v15(msg []byte) ([]byte, error) {
-	if r.freed {
-		return nil, ErrFreed
-	}
-	if r.d == nil {
-		return nil, ErrNoPrivate
-	}
-	if err := r.ensureMontCache(); err != nil {
-		return nil, err
-	}
-	key, err := r.materialize()
-	if err != nil {
-		return nil, err
-	}
-	return key.SignPKCS1v15(msg)
+	return r.withKey(func(key *rsakey.PrivateKey) ([]byte, error) {
+		return key.SignPKCS1v15(msg)
+	})
 }
 
 // materialize reconstructs a host-side rsakey.PrivateKey from the bytes in
-// simulated memory.
+// simulated memory. The big.Int limb buffers hold real key material: the
+// success path transfers all six to the caller inside the returned key;
+// the error path scrubs the partial set before returning, so a half-built
+// key never lingers on the native heap.
 func (r *RSA) materialize() (*rsakey.PrivateKey, error) {
 	ints := make([]*big.Int, 6)
+	var err error
 	for i, bn := range r.Parts() {
-		v, err := bn.Int()
+		ints[i], err = bn.Int()
 		if err != nil {
+			// A failed read leaves a partial set (including whatever the
+			// failing conversion produced, stored above). Scrub each element
+			// with a direct indexed sink call — the idiom the must-release
+			// analysis credits (a range loop may run zero times, so it
+			// proves nothing); scrubbing nil entries is a no-op.
+			scrub.Big(ints[0])
+			scrub.Big(ints[1])
+			scrub.Big(ints[2])
+			scrub.Big(ints[3])
+			scrub.Big(ints[4])
+			scrub.Big(ints[5])
 			return nil, err
 		}
-		ints[i] = v
 	}
 	return &rsakey.PrivateKey{
 		PublicKey: rsakey.PublicKey{N: r.pub.N, E: r.pub.E},
@@ -559,6 +647,12 @@ func (r *RSA) Free(clear bool) error {
 		if err := r.dropMontCache(); err != nil {
 			return err
 		}
+	}
+	if r.sealed != nil {
+		// The region's bytes were just zeroed (or deliberately abandoned
+		// as ciphertext on the clear=false path); either way no further
+		// window may open on the unmapped span.
+		r.sealed.Invalidate()
 	}
 	r.freed = true
 	return nil

@@ -17,6 +17,10 @@
 //     alignment over COW + mlock, kernel zero-on-free, and the integrated
 //     solution with O_NOCACHE PEM eviction — and verify the key collapses
 //     to a single, unswappable, uncacheable physical copy;
+//   - go one step beyond the paper with sealed key memory
+//     (ProtectionSealed): the aligned region stays encrypted at rest and
+//     only decrypts inside each private operation's working window, so
+//     even that single copy is invisible to a scanner between operations;
 //   - regenerate every figure of the paper's evaluation via RunFigure.
 //
 // Quick start:
@@ -69,6 +73,11 @@ const (
 	ProtectionIntegrated = protect.LevelIntegrated
 	// ProtectionSecureDealloc: the Chow et al. deferred-zeroing baseline.
 	ProtectionSecureDealloc = protect.LevelSecureDealloc
+	// ProtectionSealed: everything the integrated level does, plus the
+	// aligned key region is kept AEAD-encrypted between operations; the
+	// plaintext exists only inside a private operation's decrypt window,
+	// so a scanner outside that window finds zero key copies.
+	ProtectionSealed = protect.LevelSealed
 )
 
 // MachineConfig describes a machine to boot.
