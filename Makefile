@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-cold lint-self test-faults bench-smoke fuzz figures figures-smoke
+.PHONY: all build test race lint lint-cold lint-json lint-self test-faults bench-smoke fuzz figures figures-smoke
 
 all: build lint test
 
@@ -18,7 +18,8 @@ race:
 
 # lint = the compiler-adjacent vet suite plus memlint, the repo's own
 # go/analysis-style checkers (detrand, physaccess, keycopy, keylifetime,
-# simerrcheck, nopanic). See DESIGN.md "Static guarantees". memlint
+# sealwindow, simerrcheck, nopanic). See DESIGN.md "Static guarantees".
+# memlint
 # reuses per-package results from .memlintcache when the inputs are
 # byte-identical; cold and warm runs print the same findings.
 lint:
@@ -32,6 +33,14 @@ lint-cold:
 	rm -rf .memlintcache
 	$(GO) vet ./...
 	$(GO) run ./cmd/memlint ./...
+
+# lint-json: the same findings as `make lint`, rendered as one
+# machine-readable document (memlint-findings.json) — CI archives it as
+# an artifact so a red gate can be triaged without re-running locally.
+# The exit code still gates: findings fail the target after the file is
+# written.
+lint-json:
+	$(GO) run ./cmd/memlint -json ./... > memlint-findings.json
 
 # lint-self: the analyzers must hold themselves to their own invariants —
 # zero diagnostics over internal/analysis/... with zero suppressions

@@ -1,16 +1,20 @@
 // Command memlint is the repository's static-analysis gate: it runs the
 // internal/analysis suite — detrand, physaccess, keycopy, keylifetime,
-// simerrcheck, nopanic — over the module and exits nonzero on any finding. CI runs it next to
-// `go vet`; see DESIGN.md "Static guarantees" for the invariant each
-// analyzer enforces.
+// sealwindow, simerrcheck, nopanic — over the module and exits nonzero
+// on any finding. CI runs it next to `go vet`; see DESIGN.md "Static
+// guarantees" for the invariant each analyzer enforces.
 //
 // Usage:
 //
-//	memlint [-list] [-tests=false] [-only name,name] [-cache=false] [-cachedir dir] [patterns...]
+//	memlint [-list] [-tests=false] [-only name,name] [-cache=false] [-cachedir dir] [-json] [-timings] [patterns...]
 //
 // Patterns default to ./... (the whole module). Findings print as
-// file:line:col: message (analyzer). Suppress a deliberate exception with
-// a trailing
+// file:line:col: message (analyzer); -json prints the same path-sorted
+// findings as a machine-readable document instead (CI archives it as
+// the memlint-findings artifact). -timings appends a phase breakdown —
+// package load, analysis, and the points-to solver's share — used by
+// the CI timing artifact. Suppress a deliberate exception with a
+// trailing
 //
 //	//memlint:allow <analyzer> <reason>
 //
@@ -18,14 +22,16 @@
 //
 // Results are cached per package under .memlintcache at the module root
 // (internal/analysis/lintcache), keyed by the suite identity, toolchain
-// version, flag state, and the source bytes of the package plus its
-// module-internal transitive imports — so a warm run and a cold run
-// report identical findings, the warm one without re-analysis. -cache=false
-// bypasses the cache entirely (`make lint-cold` deletes the directory
-// first instead, timing the true cold path).
+// version and target platform, the loader's marker vocabulary, flag
+// state, and the source bytes of the package plus its module-internal
+// transitive imports — so a warm run and a cold run report identical
+// findings, the warm one without re-analysis. -cache=false bypasses the
+// cache entirely (`make lint-cold` deletes the directory first instead,
+// timing the true cold path).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -35,8 +41,10 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"memshield/internal/analysis"
+	"memshield/internal/analysis/dataflow"
 	"memshield/internal/analysis/detrand"
 	"memshield/internal/analysis/keycopy"
 	"memshield/internal/analysis/keylifetime"
@@ -44,6 +52,7 @@ import (
 	"memshield/internal/analysis/load"
 	"memshield/internal/analysis/nopanic"
 	"memshield/internal/analysis/physaccess"
+	"memshield/internal/analysis/sealwindow"
 	"memshield/internal/analysis/simerrcheck"
 )
 
@@ -53,6 +62,7 @@ var suite = []*analysis.Analyzer{
 	physaccess.Analyzer,
 	keycopy.Analyzer,
 	keylifetime.Analyzer,
+	sealwindow.Analyzer,
 	simerrcheck.Analyzer,
 	nopanic.Analyzer,
 }
@@ -60,7 +70,27 @@ var suite = []*analysis.Analyzer{
 // suiteVersion salts the result cache; bump it whenever any analyzer's
 // behavior changes (new checks, message rewording, policy table edits),
 // so stale cached findings can never mask or invent a diagnostic.
-const suiteVersion = "1"
+// 2: sealwindow analyzer; keycopy/keylifetime points-to retrofit.
+const suiteVersion = "2"
+
+// cacheSalt is everything besides source bytes that can change a
+// finding: the suite version, the toolchain and target platform (build
+// tags and GOOS/GOARCH-gated files alter what the loader sees), the
+// loader's marker vocabulary (a new marker kind changes what older
+// cache entries never accounted for), and the flags selecting what
+// runs. Cold and warm runs therefore print identical results — a hit
+// replays, a miss re-analyzes and stores.
+func cacheSalt(analyzerNames []string, tests bool) []string {
+	return []string{
+		"suite=" + suiteVersion,
+		"go=" + runtime.Version(),
+		"goos=" + runtime.GOOS,
+		"goarch=" + runtime.GOARCH,
+		"markers=" + load.MarkerKinds,
+		"analyzers=" + strings.Join(analyzerNames, ","),
+		fmt.Sprintf("tests=%v", tests),
+	}
+}
 
 func main() {
 	code, err := run(os.Args[1:], os.Stdout)
@@ -81,6 +111,8 @@ func run(args []string, out io.Writer) (int, error) {
 	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
 	useCache := fs.Bool("cache", true, "reuse per-package results from the on-disk cache")
 	cacheDir := fs.String("cachedir", "", "cache directory (default <module root>/.memlintcache)")
+	jsonOut := fs.Bool("json", false, "print findings as JSON instead of text")
+	timings := fs.Bool("timings", false, "append a phase timing breakdown (load/analyze/points-to)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -112,11 +144,15 @@ func run(args []string, out io.Writer) (int, error) {
 		// mis-wired CI step can never silently check nothing.
 		patterns = []string{"."}
 	}
+	ptNanos0, ptSolves0 := dataflow.PTStats()
+	loadStart := time.Now()
 	cfg := load.Config{Tests: *tests}
 	res, err := cfg.Load(patterns...)
 	if err != nil {
 		return 2, err
 	}
+	loadTime := time.Since(loadStart)
+	analyzeStart := time.Now()
 	fset := res.Fset
 
 	lookup := func(name string) (analysis.FuncSource, bool) {
@@ -124,10 +160,6 @@ func run(args []string, out io.Writer) (int, error) {
 		return analysis.FuncSource{Decl: fi.Decl, Info: fi.Info, PkgPath: fi.PkgPath}, ok
 	}
 
-	// The cache key folds in everything besides source bytes that can
-	// change a finding: the suite version, the toolchain, and the flags
-	// selecting what runs. Cold and warm runs therefore print identical
-	// results — a hit replays, a miss re-analyzes and stores.
 	var cache *lintcache.Cache
 	var salt []string
 	if *useCache {
@@ -140,12 +172,7 @@ func run(args []string, out io.Writer) (int, error) {
 		for i, a := range analyzers {
 			names[i] = a.Name
 		}
-		salt = []string{
-			"suite=" + suiteVersion,
-			"go=" + runtime.Version(),
-			"analyzers=" + strings.Join(names, ","),
-			fmt.Sprintf("tests=%v", *tests),
-		}
+		salt = cacheSalt(names, *tests)
 	}
 
 	var findings []lintcache.Finding
@@ -173,6 +200,7 @@ func run(args []string, out io.Writer) (int, error) {
 			pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.PkgPath, pkg.Info, pkg.IsTestFile)
 			pass.Sources = res.Sources
 			pass.Sinks = res.Sinks
+			pass.Windows = res.Windows
 			pass.LookupFunc = lookup
 			pass.Summaries = res.Summaries()
 			if err := a.Run(pass); err != nil {
@@ -219,15 +247,65 @@ func run(args []string, out io.Writer) (int, error) {
 		return a.Analyzer < b.Analyzer
 	})
 	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		pos := token.Position{Filename: f.File, Line: f.Line, Column: f.Col}
-		fmt.Fprintf(out, "%s: %s (%s)\n", relPos(pos, cwd), f.Message, f.Analyzer)
+	if *jsonOut {
+		if err := writeJSON(out, findings, cwd); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, f := range findings {
+			pos := token.Position{Filename: f.File, Line: f.Line, Column: f.Col}
+			fmt.Fprintf(out, "%s: %s (%s)\n", relPos(pos, cwd), f.Message, f.Analyzer)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(out, "memlint: %d finding(s)\n", len(findings))
+		}
+	}
+	if *timings {
+		ptNanos, ptSolves := dataflow.PTStats()
+		fmt.Fprintf(out, "memlint timing: load=%dms analyze=%dms pointsto=%dms solves=%d\n",
+			loadTime.Milliseconds(), time.Since(analyzeStart).Milliseconds(),
+			(ptNanos - ptNanos0).Milliseconds(), ptSolves-ptSolves0)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(out, "memlint: %d finding(s)\n", len(findings))
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// jsonFinding is one finding in the -json document. File paths are
+// rendered relative to the working directory when possible (module-
+// relative in CI), so the artifact is stable across checkouts.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+}
+
+// writeJSON emits the path-sorted findings as one indented document:
+// {"count": N, "findings": [...]}. An empty run emits count 0 and an
+// empty array, never null, so consumers can index unconditionally.
+func writeJSON(out io.Writer, findings []lintcache.Finding, cwd string) error {
+	doc := struct {
+		Count    int           `json:"count"`
+		Findings []jsonFinding `json:"findings"`
+	}{Count: len(findings), Findings: []jsonFinding{}}
+	for _, f := range findings {
+		file := f.File
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		doc.Findings = append(doc.Findings, jsonFinding{
+			File: file, Line: f.Line, Col: f.Col,
+			Message: f.Message, Analyzer: f.Analyzer,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
 }
 
 // relPos renders a position with a cwd-relative path when possible.

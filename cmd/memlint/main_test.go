@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
+
+	"memshield/internal/analysis/load"
 )
 
 // TestList prints every analyzer.
@@ -91,6 +95,106 @@ func TestCacheWarmMatchesCold(t *testing.T) {
 	}
 	if warmCode != 1 || !strings.Contains(warm.String(), "finding(s)") {
 		t.Errorf("fixture findings missing from warm output:\n%s", warm.String())
+	}
+}
+
+// TestCacheSaltCoversPlatformAndMarkers pins the cache-key regression:
+// entries written on one GOOS/GOARCH (or under an older marker
+// vocabulary) must never replay on another, because build-tagged files
+// and newly recognized marker kinds change what the analyzers see. The
+// salt is where that identity lives.
+func TestCacheSaltCoversPlatformAndMarkers(t *testing.T) {
+	salt := cacheSalt([]string{"keycopy"}, true)
+	joined := strings.Join(salt, "\n")
+	for _, want := range []string{
+		"suite=" + suiteVersion,
+		"go=" + runtime.Version(),
+		"goos=" + runtime.GOOS,
+		"goarch=" + runtime.GOARCH,
+		"markers=" + load.MarkerKinds,
+		"analyzers=keycopy",
+		"tests=true",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("cache salt missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Join(cacheSalt([]string{"keycopy"}, false), "\n") == joined {
+		t.Error("salt ignores the -tests flag")
+	}
+}
+
+// TestJSONOutput pins the -json contract: a machine-readable document
+// with a count and path-sorted findings, identical across cold and
+// warm cache runs, and an empty (never null) array on a clean run.
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-json", "-cachedir", dir, "./internal/analysis/detrand/testdata/src/detrandbad"}
+
+	var cold bytes.Buffer
+	code, err := run(args, &cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("want exit 1 on violations, got %d:\n%s", code, cold.String())
+	}
+	var doc struct {
+		Count    int `json:"count"`
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Message  string `json:"message"`
+			Analyzer string `json:"analyzer"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(cold.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, cold.String())
+	}
+	if doc.Count == 0 || doc.Count != len(doc.Findings) {
+		t.Fatalf("count %d disagrees with %d findings", doc.Count, len(doc.Findings))
+	}
+	for i, f := range doc.Findings {
+		if f.File == "" || f.Line == 0 || f.Message == "" || f.Analyzer == "" {
+			t.Errorf("finding %d has empty fields: %+v", i, f)
+		}
+		if i > 0 && doc.Findings[i-1].File > f.File {
+			t.Errorf("findings not path-sorted: %q after %q", f.File, doc.Findings[i-1].File)
+		}
+	}
+
+	var warm bytes.Buffer
+	if _, err := run(args, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if cold.String() != warm.String() {
+		t.Errorf("JSON differs between cold and warm cache runs:\ncold:\n%s\nwarm:\n%s",
+			cold.String(), warm.String())
+	}
+
+	var clean bytes.Buffer
+	code, err = run([]string{"-json", "-cache=false", "./internal/stats"}, &clean)
+	if err != nil || code != 0 {
+		t.Fatalf("clean package: code=%d err=%v\n%s", code, err, clean.String())
+	}
+	if !strings.Contains(clean.String(), `"findings": []`) {
+		t.Errorf("clean run must emit an empty array, not null:\n%s", clean.String())
+	}
+}
+
+// TestTimings pins the -timings phase breakdown, points-to solver
+// share included.
+func TestTimings(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-timings", "-cache=false", "./internal/stats"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, out.String())
+	}
+	line := out.String()
+	for _, want := range []string{"memlint timing:", "load=", "analyze=", "pointsto=", "solves="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("-timings output missing %q:\n%s", want, line)
+		}
 	}
 }
 

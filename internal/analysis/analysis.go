@@ -66,6 +66,11 @@ type Pass struct {
 	// //memlint:sink marker to the index of the parameter it zeroizes (a
 	// byte slice or *math/big.Int). Drivers fill it from load.Result.Sinks.
 	Sinks map[string]int
+	// Windows maps the go/types full name of every function carrying a
+	// //memlint:window marker to the index of its callback parameter — a
+	// function executed between an unseal and a reseal. Drivers fill it
+	// from load.Result.Windows; the sealwindow analyzer consumes it.
+	Windows map[string]int
 	// LookupFunc resolves a full function name to its declaration in any
 	// package the load session has type-checked, letting interprocedural
 	// analyzers walk callee bodies. Nil (and a false return) means "body

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"memshield/internal/analysis"
@@ -62,21 +63,65 @@ func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgPaths ...str
 	}
 }
 
+// RunWorkers is Run with the fixture packages distributed over the given
+// number of worker goroutines — the worker-invariance harness analyzers
+// with session-shared caches use to prove their results don't depend on
+// scheduling. Failures are reported with t.Errorf (goroutine-safe).
+func RunWorkers(t *testing.T, testdataDir string, a *analysis.Analyzer, workers int, pkgPaths ...string) {
+	t.Helper()
+	moduleRoot, err := load.FindModuleRoot()
+	if err != nil {
+		t.Fatalf("checktest: %v", err)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	cfg := load.Config{ModuleRoot: moduleRoot, FixtureRoot: testdataDir}
+	jobs := make(chan string, len(pkgPaths))
+	for _, path := range pkgPaths {
+		jobs <- path
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for path := range jobs {
+				res, err := cfg.Load(path)
+				if err != nil {
+					t.Errorf("checktest: loading %s: %v", path, err)
+					continue
+				}
+				for _, pkg := range res.Pkgs {
+					runOne(t, res, a, pkg)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func runOne(t *testing.T, res *load.Result, a *analysis.Analyzer, pkg *load.Package) {
 	t.Helper()
 	fset := res.Fset
 	pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.PkgPath, pkg.Info, pkg.IsTestFile)
 	pass.Sources = res.Sources
 	pass.Sinks = res.Sinks
+	pass.Windows = res.Windows
 	pass.LookupFunc = func(name string) (analysis.FuncSource, bool) {
 		fi, ok := res.LookupFunc(name)
 		return analysis.FuncSource{Decl: fi.Decl, Info: fi.Info, PkgPath: fi.PkgPath}, ok
 	}
 	pass.Summaries = res.Summaries()
 	if err := a.Run(pass); err != nil {
-		t.Fatalf("checktest: %s on %s: %v", a.Name, pkg.PkgPath, err)
+		t.Errorf("checktest: %s on %s: %v", a.Name, pkg.PkgPath, err)
+		return
 	}
-	expects := collectWants(t, fset, pkg)
+	expects, ok := collectWants(t, fset, pkg)
+	if !ok {
+		return
+	}
 
 	diags := pass.Diagnostics()
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
@@ -94,7 +139,8 @@ func runOne(t *testing.T, res *load.Result, a *analysis.Analyzer, pkg *load.Pack
 }
 
 // collectWants parses the expectations out of the fixture's comments.
-func collectWants(t *testing.T, fset *token.FileSet, pkg *load.Package) []*expectation {
+// ok is false when a pattern failed to parse (already reported).
+func collectWants(t *testing.T, fset *token.FileSet, pkg *load.Package) (_ []*expectation, ok bool) {
 	t.Helper()
 	var out []*expectation
 	for _, f := range pkg.Files {
@@ -108,11 +154,13 @@ func collectWants(t *testing.T, fset *token.FileSet, pkg *load.Package) []*expec
 				for _, tok := range tokenRe.FindAllString(m[1], -1) {
 					raw, err := unquote(tok)
 					if err != nil {
-						t.Fatalf("%s: bad want pattern %s: %v", pos, tok, err)
+						t.Errorf("%s: bad want pattern %s: %v", pos, tok, err)
+						return nil, false
 					}
 					re, err := regexp.Compile(raw)
 					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+						t.Errorf("%s: bad want regexp %q: %v", pos, raw, err)
+						return nil, false
 					}
 					out = append(out, &expectation{
 						file: pos.Filename, line: pos.Line, re: re, raw: raw,
@@ -121,7 +169,7 @@ func collectWants(t *testing.T, fset *token.FileSet, pkg *load.Package) []*expec
 			}
 		}
 	}
-	return out
+	return out, true
 }
 
 func unquote(tok string) (string, error) {

@@ -12,7 +12,10 @@
 // source, with result N tainted. The loader collects the markers from the
 // declaring packages (internal/crypto/rsakey, internal/crypto/pemfile,
 // internal/ssl today) while type-checking them, so a new key-material
-// producer only has to mark itself.
+// producer only has to mark itself. A source reached through a function
+// value — a local binding, a var declaration, a struct field — resolves
+// through the dataflow package's points-to layer and taints exactly
+// like the direct call.
 //
 // Taint is flow-sensitive: the pass runs a forward may-analysis over the
 // function's CFG (internal/analysis/dataflow), so a variable tainted in
@@ -58,38 +61,69 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	c := &checker{pass: pass}
+	c.ptc = dataflow.NewPT(func(full string) (*ast.FuncDecl, *types.Info, bool) {
+		if pass.LookupFunc == nil {
+			return nil, nil, false
+		}
+		fs, ok := pass.LookupFunc(full)
+		return fs.Decl, fs.Info, ok
+	}, pass.Summaries)
 	for _, f := range pass.Files {
 		if pass.IsTestFile(f) {
 			continue
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			fd, ok := n.(*ast.FuncDecl)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
-				return true
+				continue
 			}
+			c.cur, c.pt = fd, nil
 			c.checkBody(fd.Body, nil)
-			return true
-		})
+		}
 	}
 	return nil
 }
 
 type checker struct {
 	pass *analysis.Pass
+	// ptc builds points-to solutions so source calls through function
+	// values (a local, a var declaration, a struct field) resolve
+	// instead of going untainted. cur/pt lazily hold the solution for
+	// the declaration being checked; closures share it.
+	ptc *dataflow.PT
+	cur *ast.FuncDecl
+	pt  *dataflow.PointsTo
+}
+
+// ptOf lazily analyzes the current declaration's points-to graph.
+func (c *checker) ptOf() *dataflow.PointsTo {
+	if c.pt == nil && c.cur != nil {
+		c.pt = c.ptc.Analyze(c.cur, c.pass.TypesInfo)
+	}
+	return c.pt
 }
 
 // facts is the taint set: variables currently holding key material.
 type facts = dataflow.Facts[*types.Var]
 
 // sourceResult returns (result index, true) when call invokes a marked
-// key-material source.
+// key-material source — statically, or through a function value the
+// points-to layer resolves. Taint is a may-analysis, so any possible
+// source target suffices; completeness of the target set is not needed.
 func (c *checker) sourceResult(call *ast.CallExpr) (int, bool) {
-	fn := analysis.FuncObj(c.pass.TypesInfo, call)
-	if fn == nil {
-		return 0, false
+	if fn := analysis.FuncObj(c.pass.TypesInfo, call); fn != nil {
+		idx, ok := c.pass.Sources[fn.FullName()]
+		return idx, ok
 	}
-	idx, ok := c.pass.Sources[fn.FullName()]
-	return idx, ok
+	if pt := c.ptOf(); pt != nil {
+		fns, _, _ := pt.FuncTargets(call.Fun)
+		for _, fn := range fns {
+			if idx, ok := c.pass.Sources[fn.FullName()]; ok {
+				return idx, true
+			}
+		}
+	}
+	return 0, false
 }
 
 // cloneName reports a call to bytes.Clone or slices.Clone.

@@ -26,3 +26,9 @@ func TestSourcePackage(t *testing.T) {
 func TestFlowSensitivity(t *testing.T) {
 	checktest.Run(t, "testdata", keycopy.Analyzer, "keycopyflow")
 }
+
+// TestPointsTo pins source calls through function values — bindings,
+// var declarations, struct fields — resolving via the points-to layer.
+func TestPointsTo(t *testing.T) {
+	checktest.Run(t, "testdata", keycopy.Analyzer, "keycopypts")
+}

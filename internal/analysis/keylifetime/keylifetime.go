@@ -19,9 +19,12 @@
 // The analysis is interprocedural: per-function summaries (tainted
 // results with provenance chains, parameter/receiver flows, zeroized
 // parameters) are computed bottom-up over the call graph, memoized in
-// the load session, iterated to fixpoint for direct recursion and
-// conservatively widened for mutual recursion, unknown bodies and
-// ambiguous function values. Facts are field-sensitive to two levels
+// the load session, iterated to fixpoint for recursion cycles — direct
+// and mutual — and conservatively widened for unknown bodies and
+// function values whose points-to target set is incomplete. Calls
+// through function values (a local, a var declaration, a struct field)
+// resolve through the dataflow package's points-to layer when it can
+// prove the complete target set. Facts are field-sensitive to two levels
 // (k.D and k.Primes are distinct obligations; xs[*] covers a slice's
 // elements), so zeroizing one field never silently discharges another.
 //
@@ -69,12 +72,7 @@ func run(pass *analysis.Pass) error {
 	if policy.Allowed(pass.PkgPath, policy.RetainKeys) {
 		return nil
 	}
-	c := &checker{
-		pass:       pass,
-		inProgress: map[string]bool{},
-		local:      map[string]*Summary{},
-		sawCycle:   map[string]bool{},
-	}
+	c := newChecker(pass)
 	for _, f := range pass.Files {
 		if pass.IsTestFile(f) {
 			continue
@@ -85,6 +83,7 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			en := newEngine(c, pass.TypesInfo, fd, nil)
+			en.pts = c.ptFor(fd, pass.TypesInfo)
 			c.checkBody(en, fd.Body, nil)
 		}
 	}
@@ -123,6 +122,7 @@ func (c *checker) checkBody(en *engine, body *ast.BlockStmt, seed facts) {
 	for _, d := range cfg.Defers {
 		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
 			sub := newEngine(c, en.info, nil, lit)
+			sub.pts = en.pts
 			c.checkBody(sub, lit.Body, exit.Clone())
 		}
 	}
@@ -322,6 +322,14 @@ func (b *bodyCheck) scanExpr(e ast.Expr, fs facts, ctx int) {
 					zeroized[idx] = true
 				}
 			}
+		} else if fns, lits, complete := b.en.funcTargets(x.Fun); complete && len(fns) == 1 && len(lits) == 0 {
+			// A sink called through a function value is still a sink when
+			// the points-to layer proves the single target.
+			for idx, z := range b.c.summaryOf(fns[0]).ZeroizedParams {
+				if z {
+					zeroized[idx] = true
+				}
+			}
 		}
 		for i, a := range x.Args {
 			argCtx := ctxLeak
@@ -336,6 +344,7 @@ func (b *bodyCheck) scanExpr(e ast.Expr, fs facts, ctx int) {
 	case *ast.FuncLit:
 		if !b.deferred[x] {
 			sub := newEngine(b.c, b.en.info, nil, x)
+			sub.pts = b.en.pts
 			b.c.checkBody(sub, x.Body, fs.Clone())
 		}
 	case *ast.BinaryExpr:

@@ -18,6 +18,8 @@ func TestKeylifetime(t *testing.T) {
 		"keylifefield", // field-sensitive: struct members, slice elements
 		"keylifebig",   // math/big: *big.Int obligations, Bytes()-derived buffers
 		"keylifego",    // goroutines and channels: spawned closures, send transfer
+		"keylifepts",   // points-to: function values via var decls, struct fields
+		"keylifemap",   // path-language edges: map entries, derefs, deep fields
 	} {
 		t.Run(pkg, func(t *testing.T) {
 			checktest.Run(t, "testdata", keylifetime.Analyzer, pkg)

@@ -98,15 +98,76 @@ var widened = &Summary{Widened: true}
 type checker struct {
 	pass *analysis.Pass
 	// inProgress guards the bottom-up summary walk against call-graph
-	// cycles: a callee already on the stack answers with the widened
-	// stub (conservative widening for mutual recursion); direct
-	// self-recursion is refined by fixpoint iteration in summaryOf.
+	// cycles: a callee already on the stack answers with its current
+	// provisional iterate (the widened stub on the first round); the
+	// cycle's head then iterates to a fixpoint in summaryOf.
 	inProgress map[string]bool
 	// sawCycle marks functions whose summary computation hit themselves
 	// on the stack — the ones worth iterating to fixpoint.
 	sawCycle map[string]bool
+	// provisional holds the current fixpoint iterate for functions whose
+	// summaries are still being refined: the cycle head's published
+	// iterate between rounds, and cycle members awaiting the head.
+	// provDeps records, per provisional member, the unfinished ancestors
+	// its iterate was computed under — reusing the iterate re-propagates
+	// those into the demanding caller's frame so it too defers caching.
+	provisional map[string]*Summary
+	provDeps    map[string][]string
+	// frames is the stack of in-progress-dependency records: hitting an
+	// in-progress callee marks it in every open frame, so each function
+	// knows whether its freshly computed summary rests on an unfinished
+	// ancestor (and must stay provisional) or is final (and cacheable).
+	frames []map[string]bool
 	// local memo for summaries when the driver provides no session cache.
 	local map[string]*Summary
+	// litSums memoizes closure summaries per literal, checker-wide:
+	// points-to resolution reaches literals from engines other than the
+	// one that owns the enclosing body, and a closure cycle must hit the
+	// pre-published stub no matter which engine asks.
+	litSums map[*ast.FuncLit]*litSummary
+	// ptc builds per-declaration points-to solutions; pts memoizes them
+	// by declaration. Function-value calls the syntactic binding prescan
+	// cannot see (var declarations, struct fields, values threaded
+	// through locals) resolve through these instead of widening.
+	ptc *dataflow.PT
+	pts map[*ast.FuncDecl]*dataflow.PointsTo
+}
+
+// newChecker builds the per-pass analyzer state, wiring the points-to
+// context onto the same function-source lookup and session summary
+// store the taint summaries use.
+func newChecker(pass *analysis.Pass) *checker {
+	c := &checker{
+		pass:        pass,
+		inProgress:  map[string]bool{},
+		sawCycle:    map[string]bool{},
+		provisional: map[string]*Summary{},
+		provDeps:    map[string][]string{},
+		local:       map[string]*Summary{},
+		litSums:     map[*ast.FuncLit]*litSummary{},
+		pts:         map[*ast.FuncDecl]*dataflow.PointsTo{},
+	}
+	c.ptc = dataflow.NewPT(func(full string) (*ast.FuncDecl, *types.Info, bool) {
+		if pass.LookupFunc == nil {
+			return nil, nil, false
+		}
+		fs, ok := pass.LookupFunc(full)
+		return fs.Decl, fs.Info, ok
+	}, pass.Summaries)
+	return c
+}
+
+// ptFor memoizes one points-to solution per declaration. Closure bodies
+// share the enclosing declaration's solution: Analyze generates
+// constraints for every literal in the body, so expressions inside a
+// closure resolve against the same node set.
+func (c *checker) ptFor(decl *ast.FuncDecl, info *types.Info) *dataflow.PointsTo {
+	if pt, ok := c.pts[decl]; ok {
+		return pt
+	}
+	pt := c.ptc.Analyze(decl, info)
+	c.pts[decl] = pt
+	return pt
 }
 
 func (c *checker) cacheGet(key string) (*Summary, bool) {
@@ -149,30 +210,89 @@ func (c *checker) summaryOf(fn *types.Func) *Summary {
 		return s
 	}
 	if c.inProgress[key] {
+		// Cycle edge: record the dependency in every open frame so each
+		// ancestor knows its summary rests on an unfinished computation,
+		// and answer with the current iterate (widened on round one).
 		c.sawCycle[key] = true
+		for _, fr := range c.frames {
+			fr[key] = true
+		}
+		if s, ok := c.provisional[key]; ok {
+			return s
+		}
 		return widened
+	}
+	if s, ok := c.provisional[key]; ok {
+		// Finished-but-uncached cycle member: reuse this round's iterate
+		// instead of recomputing its whole call subtree (which is
+		// exponential along deep chains). The caller inherits the
+		// member's unfinished dependencies so it defers caching too.
+		for _, dk := range c.provDeps[key] {
+			if !c.inProgress[dk] {
+				continue
+			}
+			c.sawCycle[dk] = true
+			for _, fr := range c.frames {
+				fr[dk] = true
+			}
+		}
+		return s
 	}
 	c.inProgress[key] = true
 	defer delete(c.inProgress, key)
 
+	frame := map[string]bool{}
+	c.frames = append(c.frames, frame)
 	sum := c.computeSummary(fn)
-	// Fixpoint iteration for direct recursion: the first computation saw
-	// the widened stub for self-calls; republishing the result and
-	// recomputing until stable credits releases and flows through the
-	// recursive call. The domains are finite and grow monotonically from
-	// the stub, so this terminates quickly. Non-recursive functions (the
+	c.frames = c.frames[:len(c.frames)-1]
+
+	// A dependency blocks caching only while its computation is still
+	// open on the stack: a finished-but-provisional cycle sibling in the
+	// frame belongs to this function's own cycle, and the fixpoint below
+	// re-resolves it every round.
+	var depKeys []string
+	for k := range frame {
+		if k != key && c.inProgress[k] {
+			depKeys = append(depKeys, k)
+		}
+	}
+	if len(depKeys) > 0 {
+		// Still inside a larger cycle (a mutual-recursion member below
+		// its head): publish the iterate provisionally and let the head
+		// drive the fixpoint. The member is recomputed cleanly — against
+		// the head's now-cached summary — on its next direct demand.
+		c.provisional[key] = sum
+		c.provDeps[key] = depKeys
+		return sum
+	}
+	// Fixpoint iteration for recursion cycles this function heads (its
+	// own frame carries no unfinished ancestors): the first computation
+	// saw the widened stub for in-cycle calls; republishing the iterate
+	// and recomputing until stable credits releases and flows through
+	// the recursion. The taint/release domains are finite; the round cap
+	// bounds provenance-chain churn. Non-recursive functions (the
 	// overwhelming majority) skip the iteration entirely.
 	if c.sawCycle[key] {
-		for range 4 {
-			c.cachePut(key, sum)
+		for range 8 {
+			clear(c.provisional)
+			clear(c.provDeps)
+			c.provisional[key] = sum
 			next := c.computeSummary(fn)
 			if next.equal(sum) {
+				sum = next
 				break
 			}
 			sum = next
 		}
+		clear(c.provisional)
+		clear(c.provDeps)
 	}
 	c.cachePut(key, sum)
+	// A cached summary is no longer an unfinished dependency: scrub it
+	// from any frames still open above us.
+	for _, fr := range c.frames {
+		delete(fr, key)
+	}
 	return sum
 }
 
@@ -206,6 +326,7 @@ func (c *checker) computeSummary(fn *types.Func) *Summary {
 		return widened
 	}
 	en := newEngine(c, fi.Info, fi.Decl, nil)
+	en.pts = c.ptFor(fi.Decl, fi.Info)
 	en.analyzeForSummary(fi.Decl, sum)
 	return sum
 }
@@ -234,7 +355,10 @@ type engine struct {
 	// results maps a named-result variable to its index.
 	resultIndex map[*types.Var]int
 	sig         *types.Signature
-	lits        map[*ast.FuncLit]*litSummary
+	// pts, when non-nil, is the enclosing declaration's points-to
+	// solution. Engines for closures inherit their parent's: the
+	// solution already covers every literal in the declaration.
+	pts *dataflow.PointsTo
 }
 
 type binding struct {
@@ -258,7 +382,6 @@ func newEngine(c *checker, info *types.Info, decl *ast.FuncDecl, lit *ast.FuncLi
 		writes:      map[*types.Var]int{},
 		origins:     map[path][]string{},
 		resultIndex: map[*types.Var]int{},
-		lits:        map[*ast.FuncLit]*litSummary{},
 	}
 	var body *ast.BlockStmt
 	var ftyp *ast.FuncType
@@ -498,23 +621,49 @@ func receiverExpr(call *ast.CallExpr) ast.Expr {
 	return nil
 }
 
+// funcTargets resolves a call-site function expression through the
+// points-to layer: the named functions and literals the expression may
+// hold, and whether that target set is provably complete.
+func (en *engine) funcTargets(e ast.Expr) ([]*types.Func, []*ast.FuncLit, bool) {
+	if en.pts == nil {
+		return nil, nil, false
+	}
+	return en.pts.FuncTargets(e)
+}
+
 // calleeSummaries resolves a call's possible targets: the static callee,
-// or every binding of a function-valued variable. An empty slice means
-// "unknown" (treated as widened).
+// every syntactic binding of a function-valued variable, or — when the
+// prescan sees no binding (var declarations, struct-field function
+// values, values threaded through locals) — the points-to layer's
+// complete target set. An empty slice means "unknown" (treated as
+// widened).
 func (en *engine) calleeSummaries(call *ast.CallExpr) []*Summary {
 	if fn := analysis.FuncObj(en.info, call); fn != nil {
 		return []*Summary{en.c.summaryOf(fn)}
 	}
 	if p, ok := en.pathOf(call.Fun); ok && p.sel == "" {
-		var out []*Summary
-		for _, b := range en.bindings[p.root] {
-			if b.fn != nil {
-				out = append(out, en.c.summaryOf(b.fn))
-			} else if b.lit != nil {
-				ls := en.litSummaryOf(b.lit)
-				s := &Summary{TaintedResults: ls.taintedResults}
-				out = append(out, s)
+		if bs := en.bindings[p.root]; len(bs) > 0 {
+			var out []*Summary
+			for _, b := range bs {
+				if b.fn != nil {
+					out = append(out, en.c.summaryOf(b.fn))
+				} else if b.lit != nil {
+					ls := en.litSummaryOf(b.lit)
+					s := &Summary{TaintedResults: ls.taintedResults}
+					out = append(out, s)
+				}
 			}
+			return out
+		}
+	}
+	if fns, lits, complete := en.funcTargets(call.Fun); complete {
+		var out []*Summary
+		for _, fn := range fns {
+			out = append(out, en.c.summaryOf(fn))
+		}
+		for _, lit := range lits {
+			ls := en.litSummaryOf(lit)
+			out = append(out, &Summary{TaintedResults: ls.taintedResults})
 		}
 		return out
 	}
@@ -693,9 +842,12 @@ func (en *engine) releaseArgs(call *ast.CallExpr, add func(path)) {
 		return
 	}
 	// Function-valued call: release credit only for an unambiguous
-	// binding — with several possible targets we cannot prove which runs.
+	// target — with several possible targets we cannot prove which runs.
 	if p, ok := en.pathOf(call.Fun); ok && p.sel == "" {
-		if bs := en.bindings[p.root]; len(bs) == 1 {
+		if bs := en.bindings[p.root]; len(bs) > 0 {
+			if len(bs) != 1 {
+				return
+			}
 			if bs[0].fn != nil {
 				for idx, z := range en.c.summaryOf(bs[0].fn).ZeroizedParams {
 					if z {
@@ -706,6 +858,22 @@ func (en *engine) releaseArgs(call *ast.CallExpr, add func(path)) {
 				for _, cap := range en.litSummaryOf(bs[0].lit).zeroizedCaptures {
 					add(cap)
 				}
+			}
+			return
+		}
+	}
+	// No syntactic binding: credit a points-to resolution when it is
+	// complete and names exactly one target.
+	if fns, lits, complete := en.funcTargets(call.Fun); complete && len(fns)+len(lits) == 1 {
+		if len(fns) == 1 {
+			for idx, z := range en.c.summaryOf(fns[0]).ZeroizedParams {
+				if z {
+					addParam(idx)
+				}
+			}
+		} else {
+			for _, cap := range en.litSummaryOf(lits[0]).zeroizedCaptures {
+				add(cap)
 			}
 		}
 	}
@@ -827,17 +995,18 @@ func (en *engine) walkNoLit(n ast.Node, fn func(ast.Node)) {
 	})
 }
 
-// litSummaryOf computes (and memoizes per body) which captured
+// litSummaryOf computes (and memoizes checker-wide) which captured
 // variables a function literal zeroizes on all its paths, and whether
 // its results carry key material.
 func (en *engine) litSummaryOf(lit *ast.FuncLit) *litSummary {
-	if ls, ok := en.lits[lit]; ok {
+	if ls, ok := en.c.litSums[lit]; ok {
 		return ls
 	}
 	ls := &litSummary{taintedResults: map[int]string{}}
-	en.lits[lit] = ls // pre-publish: a self-calling closure widens to "no effect"
+	en.c.litSums[lit] = ls // pre-publish: a closure cycle widens to "no effect"
 
 	sub := newEngine(en.c, en.info, nil, lit)
+	sub.pts = en.pts
 	cfg := dataflow.New(lit.Body)
 	outs := dataflow.Backward(cfg, nil, sub.releaseTransfer)
 	entry := entryFacts(cfg, outs, sub.releaseTransfer)

@@ -95,8 +95,9 @@ func CleanRecursion() {
 	use(g)
 }
 
-// ping/pong are mutually recursive: the cycle is widened, so a tainted
-// argument conservatively taints the result.
+// ping/pong are mutually recursive: the cycle head iterates the pair
+// to a fixpoint, resolving the parameter→result flow precisely (the
+// argument's bytes really do come back out).
 func ping(b []byte, n int) []byte {
 	if n == 0 {
 		return b
@@ -111,7 +112,7 @@ func pong(b []byte, n int) []byte {
 	return ping(b, n-1)
 }
 
-// LeakMutualRecursion loses the widened result.
+// LeakMutualRecursion loses the flowed-through result.
 func LeakMutualRecursion() {
 	k := newKey()
 	defer wipe(k)
@@ -119,7 +120,7 @@ func LeakMutualRecursion() {
 	use(g)
 }
 
-// CleanMutualRecursion releases the widened result.
+// CleanMutualRecursion releases the flowed-through result.
 func CleanMutualRecursion() {
 	k := newKey()
 	defer wipe(k)

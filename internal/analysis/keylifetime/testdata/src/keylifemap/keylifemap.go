@@ -1,0 +1,52 @@
+// Package keylifemap pins the verifier's conservative behavior at the
+// edge of its path language: key material bound directly into a map
+// entry, a pointer dereference, or a path deeper than two fields has no
+// trackable release path, so the binding itself is the error. The
+// sanctioned idiom — bind to a local, scrub the local, let aliases
+// share the scrubbed backing array — stays silent.
+package keylifemap
+
+// newKey mints fixture key material.
+//
+//memlint:source result=0
+func newKey() []byte { return nil }
+
+// wipe is the fixture's zeroizing release.
+//
+//memlint:sink param=0
+func wipe(b []byte) { clear(b) }
+
+// use consumes bytes without releasing them.
+func use(b []byte) {}
+
+// LeakMapEntry binds a source result straight into a map entry: no
+// bounded path distinguishes keys, so no release can ever be proven.
+func LeakMapEntry(m map[string][]byte) {
+	m["a"] = newKey() // want `stored where the lifetime verifier cannot prove a zeroize`
+}
+
+// LeakPointerDeref binds through a pointer dereference — outside the
+// path language for the same reason.
+func LeakPointerDeref(p *[]byte) {
+	*p = newKey() // want `stored where the lifetime verifier cannot prove a zeroize`
+}
+
+type inner struct{ D []byte }
+type mid struct{ C inner }
+type outer struct{ B mid }
+
+// LeakDeepField binds at depth three; facts are field-sensitive to two
+// levels, so the path degrades to unresolvable.
+func LeakDeepField(o *outer) {
+	o.B.C.D = newKey() // want `stored where the lifetime verifier cannot prove a zeroize`
+}
+
+// CleanLocalThenStore is the sanctioned idiom: the local owns the
+// obligation and is scrubbed; the map entry shares the backing array
+// the deferred wipe zeroizes.
+func CleanLocalThenStore(m map[string][]byte) {
+	k := newKey()
+	defer wipe(k)
+	m["a"] = k
+	use(k)
+}

@@ -1,0 +1,95 @@
+// Package keylifepts pins the points-to retrofit: calls through
+// function values the syntactic binding prescan cannot see — var
+// declarations, struct fields, values threaded through locals — now
+// resolve to their real targets instead of widening. Sinks called that
+// way earn release credit; sources called that way are no longer
+// invisible. Targets the points-to layer cannot complete (a function
+// value arriving as a parameter) stay conservatively widened.
+package keylifepts
+
+// newKey mints fixture key material.
+//
+//memlint:source result=0
+func newKey() []byte { return nil }
+
+// wipe is the fixture's zeroizing release.
+//
+//memlint:sink param=0
+func wipe(b []byte) { clear(b) }
+
+// use consumes bytes without releasing them.
+func use(b []byte) {}
+
+// mint wraps the source: its summary carries the provenance chain.
+func mint() []byte { return newKey() }
+
+// CleanFuncValueSink releases through a sink bound with a var
+// declaration — a binding the AssignStmt prescan misses entirely. The
+// points-to layer proves release is exactly wipe, so the call credits
+// the zeroize.
+func CleanFuncValueSink() {
+	k := newKey()
+	use(k)
+	var release = wipe
+	release(k)
+}
+
+// CleanThreadedSink threads the sink through a second local; the copy
+// edge keeps the target set a provable singleton.
+func CleanThreadedSink() {
+	var f = wipe
+	g := f
+	k := newKey()
+	use(k)
+	g(k)
+}
+
+// LeakFuncValueSource calls the source chain through a var-declared
+// function value: the tainted result used to be invisible (widened
+// callee, no tainted arguments); the points-to layer resolves it.
+func LeakFuncValueSource() {
+	var f = mint
+	k := f() // want `key material in k \(keylifepts\.newKey → keylifepts\.mint\) is not zeroized on every path`
+	use(k)
+}
+
+// CleanFuncValueSource is the same call with the release in place.
+func CleanFuncValueSource() {
+	var f = mint
+	k := f()
+	defer wipe(k)
+	use(k)
+}
+
+// vault carries function values in fields — bindings the prescan has
+// no variable for at all.
+type vault struct {
+	release func([]byte)
+	mk      func() []byte
+}
+
+// CleanStructFieldSink releases through a sink stored in a struct
+// field; the composite-literal store resolves through points-to.
+func CleanStructFieldSink() {
+	v := vault{release: wipe}
+	k := newKey()
+	use(k)
+	v.release(k)
+}
+
+// LeakStructFieldSource mints through a struct-field function value;
+// the result carries the full provenance chain.
+func LeakStructFieldSource() {
+	v := vault{mk: mint}
+	k := v.mk() // want `key material in k \(keylifepts\.newKey → keylifepts\.mint\) is not zeroized on every path`
+	use(k)
+}
+
+// LeakParamFuncValue pins the conservative direction: a function value
+// arriving as a parameter has an unknowable target set, so calling it
+// earns no release credit even if every caller passes wipe.
+func LeakParamFuncValue(f func([]byte)) {
+	k := newKey() // want `key material in k \(keylifepts\.newKey\) is not zeroized on every path`
+	use(k)
+	f(k)
+}

@@ -38,6 +38,16 @@
 // parameter before returning (internal/scrub.Bytes is the canonical
 // sink). Result.Sinks hands the table to the keylifetime analyzer.
 //
+// The third marker declares a sealed-window scope:
+//
+//	//memlint:window param=N
+//
+// promises that the function's N-th parameter is a callback executed
+// between an unseal and a reseal (seal.Region.WithOpen is the canonical
+// window). Result.Windows hands the table to the sealwindow analyzer,
+// which proves plaintext key bytes are only read inside such callbacks
+// and never alias past them.
+//
 // The session additionally keeps a whole-program function index (full
 // go/types name → declaration + type info) and a summary cache, so the
 // interprocedural keylifetime analyzer can walk callee bodies bottom-up
@@ -104,6 +114,10 @@ type Result struct {
 	// Sinks maps the go/types full name of every function carrying a
 	// //memlint:sink marker to the index of the parameter it zeroizes.
 	Sinks map[string]int
+	// Windows maps the go/types full name of every function carrying a
+	// //memlint:window marker to the index of its callback parameter: the
+	// function runs that callback inside an unseal→reseal window.
+	Windows map[string]int
 	// ModuleRoot is the absolute module root directory the load resolved
 	// against; ModulePath is the module path from its go.mod. Cache
 	// layers key package content by mapping import paths onto the tree
@@ -175,6 +189,7 @@ type session struct {
 	pkgs      map[string]*Package // by PkgPath (+" [tests]" for augmented variants)
 	sources   map[string]int
 	sinks     map[string]int
+	windows   map[string]int
 	funcs     map[string]FuncInfo // full function name → declaration
 	summaries SummaryCache
 }
@@ -197,6 +212,7 @@ func sessionFor(moduleRoot, fixtureRoot string) *session {
 			pkgs:    map[string]*Package{},
 			sources: map[string]int{},
 			sinks:   map[string]int{},
+			windows: map[string]int{},
 			funcs:   map[string]FuncInfo{},
 		}
 		sessions[key] = ses
@@ -267,8 +283,12 @@ func (cfg Config) Load(patterns ...string) (*Result, error) {
 	for k, v := range ses.sinks {
 		sinks[k] = v
 	}
+	windows := make(map[string]int, len(ses.windows))
+	for k, v := range ses.windows {
+		windows[k] = v
+	}
 	return &Result{
-		Pkgs: out, Fset: ses.fset, Sources: sources, Sinks: sinks,
+		Pkgs: out, Fset: ses.fset, Sources: sources, Sinks: sinks, Windows: windows,
 		ModuleRoot: root, ModulePath: modulePath, ses: ses,
 	}, nil
 }
@@ -644,6 +664,16 @@ var sourceRe = regexp.MustCompile(`^//memlint:source\s+result=(\d+)\s*$`)
 //	//memlint:sink param=N
 var sinkRe = regexp.MustCompile(`^//memlint:sink\s+param=(\d+)\s*$`)
 
+// windowRe matches the sealed-window marker:
+//
+//	//memlint:window param=N
+var windowRe = regexp.MustCompile(`^//memlint:window\s+param=(\d+)\s*$`)
+
+// MarkerKinds names every doc-marker kind the loader collects, in the
+// order they were introduced. Cache fingerprints fold it in so adding a
+// marker kind invalidates findings computed before the kind existed.
+const MarkerKinds = "source,sink,window"
+
 // collectSources records every marked function of the just-checked files
 // into the session's source and sink tables, validating that the named
 // result or parameter exists and is a byte slice (the only shape the
@@ -699,6 +729,22 @@ func (ld *loader) collectSources(path string, files []*ast.File, info *types.Inf
 							idx, fn.FullName(), par)
 					}
 					ld.ses.sinks[fn.FullName()] = idx
+				}
+				if m := windowRe.FindStringSubmatch(c.Text); m != nil {
+					idx, err := strconv.Atoi(m[1])
+					if err != nil {
+						return fmt.Errorf("bad //memlint:window marker on %s: %v", fn.FullName(), err)
+					}
+					if idx >= sig.Params().Len() {
+						return fmt.Errorf("//memlint:window param=%d on %s: function has %d parameter(s)",
+							idx, fn.FullName(), sig.Params().Len())
+					}
+					par := sig.Params().At(idx).Type()
+					if _, ok := par.Underlying().(*types.Signature); !ok {
+						return fmt.Errorf("//memlint:window param=%d on %s: parameter type %s is not a function",
+							idx, fn.FullName(), par)
+					}
+					ld.ses.windows[fn.FullName()] = idx
 				}
 			}
 		}

@@ -163,6 +163,27 @@ func TestSinkMarkers(t *testing.T) {
 	}
 }
 
+// TestWindowMarkers checks the //memlint:window protocol: loading the
+// seal package populates Result.Windows with the callback index.
+func TestWindowMarkers(t *testing.T) {
+	root, err := load.FindModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := load.Config{ModuleRoot: root}
+	res, err := cfg.Load("./internal/crypto/seal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := res.Windows["(*memshield/internal/crypto/seal.Region).WithOpen"]
+	if !ok {
+		t.Fatal("window marker missing for (*seal.Region).WithOpen")
+	}
+	if idx != 0 {
+		t.Errorf("WithOpen callback param = %d, want 0", idx)
+	}
+}
+
 // TestMarkerValidation checks malformed markers fail the load with a
 // diagnostic naming the offending function, instead of silently
 // weakening the analyzers' fact tables.
@@ -178,6 +199,8 @@ func TestMarkerValidation(t *testing.T) {
 		{"badsinkidx", "function has 1 parameter"},
 		{"badsinktype", "is not a byte slice"},
 		{"badsourcetype", "is not a byte slice"},
+		{"badwindowidx", "function has 1 parameter"},
+		{"badwindowtype", "is not a function"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.pkg, func(t *testing.T) {

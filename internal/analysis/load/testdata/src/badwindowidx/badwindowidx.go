@@ -1,0 +1,8 @@
+// Package badwindowidx declares a window marker whose parameter index is
+// out of range; loading it must fail marker validation.
+package badwindowidx
+
+// WithOpen has one parameter, so param=1 is out of range.
+//
+//memlint:window param=1
+func WithOpen(fn func() error) error { return fn() }

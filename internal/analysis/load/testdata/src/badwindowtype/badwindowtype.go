@@ -1,0 +1,8 @@
+// Package badwindowtype declares a window marker on a non-function
+// parameter; loading it must fail marker validation.
+package badwindowtype
+
+// WithOpen's marked parameter is a byte slice, not a callback.
+//
+//memlint:window param=0
+func WithOpen(b []byte) error { _ = b; return nil }

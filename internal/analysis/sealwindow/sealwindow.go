@@ -1,0 +1,614 @@
+// Package sealwindow statically proves the sealed-window discipline
+// (DESIGN.md §6): plaintext key bytes may only be read inside a
+// //memlint:window callback (seal.Region.WithOpen's unseal→op→reseal
+// window), and nothing read inside a window may alias past its end — no
+// store to a variable declared outside the callback, no store through a
+// pointer whose points-to set outlives the callback, no channel send,
+// no goroutine capture, no return, no hand-off to a callee that retains
+// its argument.
+//
+// Scope: the analyzer checks functions that use windows — ones that
+// call a //memlint:window-marked function directly or through a locally
+// resolvable function value. Inside such a function, every call to a
+// //memlint:source-marked function must sit inside a window callback
+// (check a), and the byte slices those calls return inside a window
+// must not escape it (checks b and c, via the dataflow points-to layer).
+// Functions that never open a window are out of scope here: their key
+// handling is the keylifetime verifier's subject (zeroize-on-all-paths),
+// and a package whose charter is the window mechanism itself carries the
+// policy.OpenWindow permission.
+//
+// Approximations, all in the conservative direction for the discipline
+// except the last: field paths truncate at depth 2 (extra aliases, never
+// missed ones); a call through an unresolvable function value widens
+// (its arguments count as escaping); but a window-tainted argument
+// passed to a resolvable callee is only flagged when that callee's
+// escape summary retains it — unresolvable callees without bodies
+// (stdlib) are trusted not to retain key bytes, the same trust keycopy
+// extends.
+package sealwindow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"memshield/internal/analysis"
+	"memshield/internal/analysis/dataflow"
+	"memshield/internal/analysis/policy"
+)
+
+// Analyzer is the sealwindow entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "sealwindow",
+	Doc: "prove plaintext key bytes are only read inside //memlint:window " +
+		"callbacks and never alias past the window's end (DESIGN.md §6)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if policy.Allowed(pass.PkgPath, policy.OpenWindow) {
+		return nil
+	}
+	if len(pass.Windows) == 0 {
+		return nil
+	}
+	ptc := dataflow.NewPT(func(full string) (*ast.FuncDecl, *types.Info, bool) {
+		if pass.LookupFunc == nil {
+			return nil, nil, false
+		}
+		fs, ok := pass.LookupFunc(full)
+		return fs.Decl, fs.Info, ok
+	}, pass.Summaries)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fc := &funcChecker{pass: pass, ptc: ptc, decl: fd}
+			fc.check()
+		}
+	}
+	return nil
+}
+
+// A windowCall is one call of a //memlint:window-marked function, with
+// the callback argument it scopes.
+type windowCall struct {
+	call *ast.CallExpr
+	cb   ast.Expr
+}
+
+// funcChecker verifies the window discipline inside one declaration.
+type funcChecker struct {
+	pass *analysis.Pass
+	ptc  *dataflow.PT
+	decl *ast.FuncDecl
+	pt   *dataflow.PointsTo // built lazily, once per declaration
+}
+
+func (c *funcChecker) ptOf() *dataflow.PointsTo {
+	if c.pt == nil {
+		c.pt = c.ptc.Analyze(c.decl, c.pass.TypesInfo)
+	}
+	return c.pt
+}
+
+func (c *funcChecker) check() {
+	info := c.pass.TypesInfo
+
+	// Find window calls. The static pass catches direct calls; when a
+	// window-marked function is referenced as a value anywhere in the
+	// body, the points-to layer resolves indirect calls too.
+	var wcalls []windowCall
+	calleeIdents := map[*ast.Ident]bool{}
+	windowValueUse := false
+	ast.Inspect(c.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			calleeIdents[fun] = true
+		case *ast.SelectorExpr:
+			calleeIdents[fun.Sel] = true
+		}
+		if fn := analysis.FuncObj(info, call); fn != nil {
+			if idx, ok := c.pass.Windows[fn.FullName()]; ok && idx < len(call.Args) {
+				wcalls = append(wcalls, windowCall{call, call.Args[idx]})
+			}
+		}
+		return true
+	})
+	ast.Inspect(c.decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || calleeIdents[id] {
+			return true
+		}
+		if fn, ok := info.Uses[id].(*types.Func); ok {
+			if _, marked := c.pass.Windows[fn.FullName()]; marked {
+				windowValueUse = true
+			}
+		}
+		return true
+	})
+	if windowValueUse {
+		pt := c.ptOf()
+		ast.Inspect(c.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || analysis.FuncObj(info, call) != nil {
+				return true
+			}
+			fns, _, _ := pt.FuncTargets(call.Fun)
+			for _, fn := range fns {
+				if idx, ok := c.pass.Windows[fn.FullName()]; ok && idx < len(call.Args) {
+					wcalls = append(wcalls, windowCall{call, call.Args[idx]})
+					break
+				}
+			}
+			return true
+		})
+	}
+	if len(wcalls) == 0 {
+		return
+	}
+
+	// Resolve each callback to the literal(s) that scope the window.
+	var windows []*ast.FuncLit
+	for _, wc := range wcalls {
+		arg := ast.Unparen(wc.cb)
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			windows = append(windows, lit)
+			continue
+		}
+		fns, lits, complete := c.ptOf().FuncTargets(arg)
+		if complete && len(fns) == 0 && len(lits) > 0 {
+			windows = append(windows, lits...)
+			continue
+		}
+		c.pass.Reportf(arg.Pos(),
+			"sealed-window callback %s does not resolve to a function literal; "+
+				"the window discipline cannot be verified statically (pass a func literal)",
+			types.ExprString(arg))
+	}
+
+	// Check (a): every plaintext read sits inside some window callback.
+	ast.Inspect(c.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, isSource := c.sourceOf(call)
+		if isSource && !inAnyWindow(call.Pos(), windows) {
+			c.pass.Reportf(call.Pos(),
+				"key bytes from %s read outside any sealed window; plaintext key "+
+					"reads must happen inside a //memlint:window callback", name)
+		}
+		return true
+	})
+
+	// Checks (b) and (c): window-tainted bytes must not alias past the
+	// callback's end.
+	for _, lit := range windows {
+		lc := &litCheck{c: c, lit: lit, tainted: map[*types.Var]bool{}}
+		lc.run()
+	}
+}
+
+// sourceOf reports whether call reads plaintext key bytes: its callee
+// (static, or locally resolved through a function value) carries a
+// //memlint:source marker.
+func (c *funcChecker) sourceOf(call *ast.CallExpr) (string, bool) {
+	if fn := analysis.FuncObj(c.pass.TypesInfo, call); fn != nil {
+		if _, ok := c.pass.Sources[fn.FullName()]; ok {
+			return fn.Name(), true
+		}
+		return "", false
+	}
+	fns, _, _ := c.ptOf().FuncTargets(call.Fun)
+	for _, fn := range fns {
+		if _, ok := c.pass.Sources[fn.FullName()]; ok {
+			return fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+func inAnyWindow(pos token.Pos, windows []*ast.FuncLit) bool {
+	for _, w := range windows {
+		if pos >= w.Pos() && pos <= w.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// litCheck proves checks (b) and (c) for one window callback: a local
+// forward taint over the literal's body, seeded by the byte slices that
+// //memlint:source calls return inside it, with escape verdicts drawn
+// from the enclosing function's points-to solution and the callees'
+// escape summaries.
+type litCheck struct {
+	c       *funcChecker
+	lit     *ast.FuncLit
+	tainted map[*types.Var]bool
+}
+
+func (lc *litCheck) run() {
+	// Fixpoint the taint set first (the body is walked again to report,
+	// so stores that precede their taint source in text still resolve).
+	for {
+		if !lc.propagate() {
+			break
+		}
+	}
+	lc.report()
+}
+
+func (lc *litCheck) declaredInside(v *types.Var) bool {
+	return v.Pos() >= lc.lit.Pos() && v.Pos() <= lc.lit.End()
+}
+
+func (lc *litCheck) taintVar(v *types.Var) bool {
+	if v == nil || lc.tainted[v] || !lc.declaredInside(v) {
+		return false
+	}
+	lc.tainted[v] = true
+	return true
+}
+
+func (lc *litCheck) varOf(e ast.Expr) *types.Var {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		v, _ := lc.c.pass.TypesInfo.ObjectOf(id).(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// propagate runs one taint round over the literal body; true means the
+// set grew.
+func (lc *litCheck) propagate() bool {
+	changed := false
+	ast.Inspect(lc.lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				var t bool
+				if len(s.Rhs) == len(s.Lhs) {
+					t = lc.taintExpr(s.Rhs[i])
+				} else if len(s.Rhs) == 1 {
+					t = lc.taintExpr(s.Rhs[0])
+				}
+				if t {
+					if lc.taintVar(lc.varOf(lhs)) {
+						changed = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				var t bool
+				if len(s.Values) == len(s.Names) {
+					t = lc.taintExpr(s.Values[i])
+				} else if len(s.Values) == 1 {
+					t = lc.taintExpr(s.Values[0])
+				}
+				if t {
+					if v, ok := lc.c.pass.TypesInfo.Defs[name].(*types.Var); ok && lc.taintVar(v) {
+						changed = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if s.Value != nil && lc.taintExpr(s.X) {
+				if lc.taintVar(lc.varOf(s.Value)) {
+					changed = true
+				}
+			}
+		case *ast.CallExpr:
+			// copy(dst, src) moves the bytes themselves.
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && id.Name == "copy" {
+				if _, isB := lc.c.pass.TypesInfo.Uses[id].(*types.Builtin); isB && len(s.Args) == 2 {
+					if lc.taintExpr(s.Args[1]) {
+						if lc.taintVar(lc.varOf(rootExpr(s.Args[0]))) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// taintExpr reports whether e may hold open-window key bytes.
+func (lc *litCheck) taintExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := lc.c.pass.TypesInfo.ObjectOf(x).(*types.Var)
+		return v != nil && lc.tainted[v]
+	case *ast.CallExpr:
+		if _, ok := lc.c.sourceOf(x); ok {
+			return true
+		}
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if _, isB := lc.c.pass.TypesInfo.Uses[id].(*types.Builtin); isB {
+				if id.Name == "append" {
+					for _, a := range x.Args {
+						if lc.taintExpr(a) {
+							return true
+						}
+					}
+				}
+				return false
+			}
+		}
+		// A byte-slice result computed from tainted bytes is tainted
+		// (identity-shaped helpers, concatenators).
+		if !isByteSliceType(lc.c.pass.TypesInfo.TypeOf(x)) {
+			return false
+		}
+		for _, a := range x.Args {
+			if lc.taintExpr(a) {
+				return true
+			}
+		}
+		return false
+	case *ast.SliceExpr:
+		return lc.taintExpr(x.X)
+	case *ast.IndexExpr:
+		return lc.taintExpr(x.X)
+	case *ast.StarExpr:
+		return lc.taintExpr(x.X)
+	case *ast.SelectorExpr:
+		return lc.taintExpr(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return lc.taintExpr(x.X)
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if lc.taintExpr(el) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// report walks the body once more and flags every statement that lets
+// tainted bytes outlive the window.
+func (lc *litCheck) report() {
+	lc.reportIn(lc.lit.Body, true)
+}
+
+// reportIn visits stmts; topLit marks statements whose enclosing
+// function literal is the window callback itself (returns only escape
+// through the callback's own return statements).
+func (lc *litCheck) reportIn(n ast.Node, topLit bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			if s != lc.lit {
+				lc.reportIn(s.Body, false)
+				return false
+			}
+		case *ast.AssignStmt:
+			lc.checkAssign(s)
+		case *ast.SendStmt:
+			if lc.taintExpr(s.Value) {
+				lc.c.pass.Reportf(s.Pos(),
+					"open-window key bytes escape the sealed window: sent on a channel")
+			}
+		case *ast.GoStmt:
+			lc.checkGo(s)
+			return false
+		case *ast.ReturnStmt:
+			if topLit {
+				for _, r := range s.Results {
+					if lc.taintExpr(r) {
+						lc.c.pass.Reportf(s.Pos(),
+							"open-window key bytes escape the sealed window: returned from the callback")
+						break
+					}
+				}
+			}
+		case *ast.CallExpr:
+			lc.checkCallArgs(s)
+		}
+		return true
+	})
+}
+
+// checkAssign flags stores that leave the window: an assignment to a
+// variable declared outside the callback, or a store through a location
+// whose points-to set may outlive it.
+func (lc *litCheck) checkAssign(s *ast.AssignStmt) {
+	for i, lhs := range s.Lhs {
+		var t bool
+		if len(s.Rhs) == len(s.Lhs) {
+			t = lc.taintExpr(s.Rhs[i])
+		} else if len(s.Rhs) == 1 {
+			t = lc.taintExpr(s.Rhs[0])
+		}
+		if !t {
+			continue
+		}
+		lhs = ast.Unparen(lhs)
+		if id, ok := lhs.(*ast.Ident); ok {
+			if id.Name == "_" {
+				continue
+			}
+			v, _ := lc.c.pass.TypesInfo.ObjectOf(id).(*types.Var)
+			if v != nil && !lc.declaredInside(v) {
+				lc.c.pass.Reportf(s.Pos(),
+					"open-window key bytes escape the sealed window: assigned to %s, "+
+						"which is declared outside the callback", id.Name)
+			}
+			continue
+		}
+		// Compound store: x.F = k, x[i] = k, *p = k. The root variable
+		// or the base's points-to set decides whether the cell outlives
+		// the window.
+		root := lc.varOf(rootExpr(lhs))
+		if root != nil && !lc.declaredInside(root) {
+			lc.c.pass.Reportf(s.Pos(),
+				"open-window key bytes escape the sealed window: stored through %s, "+
+					"which is declared outside the callback", root.Name())
+			continue
+		}
+		if base, ok := storeBase(lhs); ok && lc.baseOutlives(base) {
+			lc.c.pass.Reportf(s.Pos(),
+				"open-window key bytes escape the sealed window: stored through %s, "+
+					"whose pointees may outlive the callback", types.ExprString(base))
+		}
+	}
+}
+
+// baseOutlives consults the points-to solution: does the store base
+// reach memory allocated outside the window (or already escaped)?
+func (lc *litCheck) baseOutlives(base ast.Expr) bool {
+	var objs []*dataflow.PTObject
+	if v := lc.varOf(base); v != nil {
+		objs = lc.c.ptOf().VarPointsTo(v)
+	} else if o, ok := lc.c.ptOf().ObjectsOf(base); ok {
+		objs = o
+	} else {
+		// Unseen expression: cannot prove containment.
+		return true
+	}
+	for _, o := range objs {
+		if o.Kind == dataflow.PTOutside || o.Escaped() {
+			return true
+		}
+		if o.Pos.IsValid() && (o.Pos < lc.lit.Pos() || o.Pos > lc.lit.End()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkGo flags goroutines that can still see tainted bytes after the
+// window closes: tainted arguments, or a spawned literal capturing a
+// tainted variable.
+func (lc *litCheck) checkGo(s *ast.GoStmt) {
+	for _, a := range s.Call.Args {
+		if lc.taintExpr(a) {
+			lc.c.pass.Reportf(s.Pos(),
+				"open-window key bytes escape the sealed window: handed to a goroutine")
+			return
+		}
+	}
+	if glit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		captured := false
+		ast.Inspect(glit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || captured {
+				return !captured
+			}
+			if v, ok := lc.c.pass.TypesInfo.Uses[id].(*types.Var); ok && lc.tainted[v] {
+				if v.Pos() < glit.Pos() || v.Pos() > glit.End() {
+					captured = true
+				}
+			}
+			return true
+		})
+		if captured {
+			lc.c.pass.Reportf(s.Pos(),
+				"open-window key bytes escape the sealed window: captured by a goroutine")
+		}
+	}
+}
+
+// checkCallArgs flags tainted arguments handed to a callee whose escape
+// summary retains them. Callees without bodies (stdlib) are trusted not
+// to retain key bytes; unresolvable function values are keylifetime's
+// subject.
+func (lc *litCheck) checkCallArgs(call *ast.CallExpr) {
+	fn := analysis.FuncObj(lc.c.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if _, isWindow := lc.c.pass.Windows[fn.FullName()]; isWindow {
+		return // nested window: its callback is checked on its own
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	sum := lc.c.ptc.SummaryOf(fn)
+	if sum == nil || sum.Widened {
+		return
+	}
+	for i, a := range call.Args {
+		if !lc.taintExpr(a) {
+			continue
+		}
+		pi := i
+		if sig.Variadic() && pi >= sig.Params().Len() {
+			pi = sig.Params().Len() - 1
+		}
+		if pi < len(sum.ParamEscapes) && sum.ParamEscapes[pi] {
+			lc.c.pass.Reportf(call.Pos(),
+				"open-window key bytes escape the sealed window: passed to %s, "+
+					"which retains its argument", fn.Name())
+			return
+		}
+	}
+}
+
+// rootExpr strips selectors, indexes, stars and parens down to the
+// innermost base expression.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return ast.Unparen(e)
+		}
+	}
+}
+
+// storeBase returns the expression whose pointees receive a compound
+// store: the x of x.F / x[i] / *x.
+func storeBase(lhs ast.Expr) (ast.Expr, bool) {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return x.X, true
+	case *ast.IndexExpr:
+		return x.X, true
+	case *ast.StarExpr:
+		return x.X, true
+	}
+	return nil, false
+}
+
+func isByteSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,83 @@
+// Package sealwinbad exercises reads outside any sealed window and
+// windows the analyzer cannot scope: each marked line must be flagged.
+package sealwinbad
+
+type Region struct{}
+
+// WithOpen is the fixture's window.
+//
+//memlint:window param=0
+func (r *Region) WithOpen(fn func() error) error { return fn() }
+
+// Open reads the plaintext key bytes.
+//
+//memlint:source result=0
+func Open() []byte { return make([]byte, 16) }
+
+// Wipe zeroizes.
+//
+//memlint:sink param=0
+func Wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func use(b []byte) int { return len(b) }
+
+// ReadOutside reads key bytes before opening the window.
+func ReadOutside(r *Region) error {
+	k := Open() // want `read outside any sealed window`
+	err := r.WithOpen(func() error {
+		_ = use(k)
+		return nil
+	})
+	Wipe(k)
+	return err
+}
+
+// ReadAfter reads again after the window closed.
+func ReadAfter(r *Region) error {
+	err := r.WithOpen(func() error {
+		k := Open()
+		Wipe(k)
+		return nil
+	})
+	k2 := Open() // want `read outside any sealed window`
+	Wipe(k2)
+	return err
+}
+
+// NamedCallback passes a named function: the window body cannot be
+// scoped statically, so the discipline cannot be proven.
+func NamedCallback(r *Region) error {
+	return r.WithOpen(body) // want `does not resolve to a function literal`
+}
+
+func body() error { return nil }
+
+// FuncValueSource: a source called through a function value still
+// counts as a plaintext read — the points-to layer resolves it.
+func FuncValueSource(r *Region) error {
+	read := Open
+	k := read() // want `read outside any sealed window`
+	_ = use(k)
+	Wipe(k)
+	return r.WithOpen(func() error { return nil })
+}
+
+// EarlyAlias stashes the key in an outer variable on an early-return
+// path; the alias outlives the window.
+func EarlyAlias(r *Region) ([]byte, error) {
+	var grab []byte
+	err := r.WithOpen(func() error {
+		k := Open()
+		if use(k) == 0 {
+			grab = k // want `assigned to grab, which is declared outside the callback`
+			return nil
+		}
+		Wipe(k)
+		return nil
+	})
+	return grab, err
+}

@@ -1,0 +1,109 @@
+// Package sealwinescape exercises pointer escapes out of an open
+// window: channel sends, goroutine hand-offs and captures, global and
+// outer-struct stores, callback returns, and retaining callees.
+package sealwinescape
+
+type Region struct{}
+
+// WithOpen is the fixture's window.
+//
+//memlint:window param=0
+func (r *Region) WithOpen(fn func() error) error { return fn() }
+
+// WithOpenBytes is a window variant whose callback returns bytes — it
+// pins the returned-from-callback escape.
+//
+//memlint:window param=0
+func (r *Region) WithOpenBytes(fn func() []byte) []byte { return fn() }
+
+// Open reads the plaintext key bytes.
+//
+//memlint:source result=0
+func Open() []byte { return make([]byte, 16) }
+
+// Wipe zeroizes.
+//
+//memlint:sink param=0
+func Wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+var sink []byte
+var keyCh = make(chan []byte, 1)
+
+func retain(b []byte) { sink = b }
+func drop(b []byte)   { _ = b }
+
+// ToChannel sends open-window bytes out of the window.
+func ToChannel(r *Region) error {
+	return r.WithOpen(func() error {
+		k := Open()
+		keyCh <- k // want `sent on a channel`
+		return nil
+	})
+}
+
+// ToGoroutineArg hands the slice to a goroutine that may outlive the
+// window.
+func ToGoroutineArg(r *Region) error {
+	return r.WithOpen(func() error {
+		k := Open()
+		go drop(k) // want `handed to a goroutine`
+		return nil
+	})
+}
+
+// ToGoroutineCapture leaks through a captured variable.
+func ToGoroutineCapture(r *Region) error {
+	return r.WithOpen(func() error {
+		k := Open()
+		go func() { // want `captured by a goroutine`
+			_ = k
+		}()
+		return nil
+	})
+}
+
+// ToGlobal stores into a package-level variable.
+func ToGlobal(r *Region) error {
+	return r.WithOpen(func() error {
+		k := Open()
+		sink = k // want `assigned to sink, which is declared outside the callback`
+		return nil
+	})
+}
+
+// Returned hands the bytes to whoever holds the window's result.
+func Returned(r *Region) []byte {
+	return r.WithOpenBytes(func() []byte {
+		k := Open()
+		return k // want `returned from the callback`
+	})
+}
+
+// ToRetainer passes the bytes to a callee whose escape summary stores
+// them; drop (which retains nothing) stays silent.
+func ToRetainer(r *Region) error {
+	return r.WithOpen(func() error {
+		k := Open()
+		drop(k)
+		retain(k) // want `passed to retain, which retains its argument`
+		Wipe(k)
+		return nil
+	})
+}
+
+// holder is allocated before the window opens in ToOuterStruct.
+type holder struct{ b []byte }
+
+// ToOuterStruct stores through a struct declared before the window.
+func ToOuterStruct(r *Region) error {
+	h := &holder{}
+	return r.WithOpen(func() error {
+		k := Open()
+		h.b = k // want `stored through h, which is declared outside the callback`
+		return nil
+	})
+}

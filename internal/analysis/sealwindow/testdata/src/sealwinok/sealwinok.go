@@ -1,0 +1,80 @@
+// Package sealwinok exercises clean sealed-window usage: reads, uses,
+// aliases and wipes that all stay inside the //memlint:window callback
+// must produce no diagnostics.
+package sealwinok
+
+type Region struct{}
+
+// WithOpen is the fixture's window: unseal, fn, reseal.
+//
+//memlint:window param=0
+func (r *Region) WithOpen(fn func() error) error { return fn() }
+
+// Open reads the plaintext key bytes.
+//
+//memlint:source result=0
+func Open() []byte { return make([]byte, 16) }
+
+// Wipe zeroizes.
+//
+//memlint:sink param=0
+func Wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func use(b []byte) int { return len(b) }
+
+// Clean is the canonical window: read, use, wipe, all inside.
+func Clean(r *Region) error {
+	return r.WithOpen(func() error {
+		k := Open()
+		defer Wipe(k)
+		_ = use(k)
+		return nil
+	})
+}
+
+// AliasInside: aliases that stay inside the window are fine.
+func AliasInside(r *Region) error {
+	return r.WithOpen(func() error {
+		k := Open()
+		k2 := k[4:8]
+		_ = use(k2)
+		Wipe(k)
+		return nil
+	})
+}
+
+// ViaFuncValue: the window call resolves through a local method value —
+// the points-to layer, not syntax, identifies the window.
+func ViaFuncValue(r *Region) error {
+	w := r.WithOpen
+	return w(func() error {
+		k := Open()
+		Wipe(k)
+		return nil
+	})
+}
+
+// NoWindow never opens a window, so it is out of sealwindow's scope:
+// the zeroize obligation on k belongs to the keylifetime verifier.
+func NoWindow() {
+	k := Open()
+	Wipe(k)
+}
+
+// LocalStruct: storing into a struct allocated inside the window is
+// fine — the cell dies with the callback.
+func LocalStruct(r *Region) error {
+	return r.WithOpen(func() error {
+		type kv struct{ b []byte }
+		h := kv{}
+		k := Open()
+		h.b = k
+		_ = use(h.b)
+		Wipe(k)
+		return nil
+	})
+}

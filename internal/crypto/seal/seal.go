@@ -239,6 +239,12 @@ func (r *Region) destroy(cause error) error {
 // unseal refusal skips fn entirely. A reseal failure is joined onto fn's
 // error so callers observe both the operation's outcome and the
 // destruction (check with errors.Is(err, seal.ErrReseal)).
+//
+// The window marker declares the sealed-window contract the sealwindow
+// analyzer enforces: plaintext key bytes may only be read inside fn, and
+// nothing fn reads may alias past its return.
+//
+//memlint:window param=0
 func (r *Region) WithOpen(fn func() error) error {
 	if err := r.unseal(); err != nil {
 		return err
