@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-cold lint-json lint-self test-faults bench-smoke fuzz figures figures-smoke
+.PHONY: all build test race lint lint-cold lint-json lint-self test-faults soak soak-smoke bench-smoke fuzz figures figures-smoke
 
 all: build lint test
 
@@ -56,6 +56,17 @@ lint-self:
 # runs this on each PR.
 test-faults:
 	$(GO) test -race -run 'TestFaultMatrix|TestNoFalseSecurity' -v .
+
+# Chaos soak: seeded fault storms against supervised servers with the
+# machine invariants checked every tick (cmd/soak, DESIGN.md §11). The
+# smoke variant is the CI gate: a short parallel sweep re-verified
+# serially (-verify demands the event log replay byte-identical at both
+# worker counts) with the log archived as the soak-events artifact.
+soak:
+	$(GO) run ./cmd/soak -storms 8 -steps 200 -workers 4 -verify
+
+soak-smoke:
+	$(GO) run ./cmd/soak -storms 6 -steps 120 -workers 4 -verify -log soak-events.log
 
 # One iteration of the scanning-engine and keyfinder benchmarks under the
 # race detector: exercises the sharded scan, the incremental rescan and the

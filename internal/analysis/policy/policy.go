@@ -113,6 +113,12 @@ var SimMachinePackages = []string{
 	"memshield/internal/kernel", // includes alloc, vm, fs, pagecache, proc
 	"memshield/internal/libc",
 	"memshield/internal/ssl",
+	// The supervisor and its soak driver sit above the fault injector but
+	// below the operator: a panic there would turn a storm of injected
+	// faults into a crash instead of a refusal, so they carry the same
+	// no-panic obligation as the machine layers they drive.
+	"memshield/internal/supervise",
+	"memshield/cmd/soak",
 }
 
 // SuppressionBudget caps the number of inline //memlint:allow directives

@@ -92,14 +92,31 @@ type Region struct {
 	stats     Stats
 }
 
+// An Option configures New.
+type Option func(*Region)
+
+// WithStartEpoch starts the region's epoch counter at e instead of 0.
+// Re-provisioning (internal/supervise) uses it to keep (prekey, epoch)
+// pairs globally unique across provisioning generations: generation g
+// seals under a g-derived prekey AND epochs at or above g<<32, so even a
+// caller that mistakenly reused a prekey stream could never repeat an
+// AES-CTR keystream from an earlier generation.
+func WithStartEpoch(e uint64) Option {
+	return func(r *Region) { r.epoch = e }
+}
+
 // New seals the n bytes at base in place: the current plaintext contents
-// are encrypted under epoch 0 of a fresh prekey drawn from prekeyRand
-// (pass a deterministic reader for reproducible runs). inj may be nil.
-func New(heap *libc.Heap, inj *fault.Injector, base vm.VAddr, n int, prekeyRand io.Reader) (*Region, error) {
+// are encrypted under the starting epoch (0 unless WithStartEpoch says
+// otherwise) of a fresh prekey drawn from prekeyRand (pass a
+// deterministic reader for reproducible runs). inj may be nil.
+func New(heap *libc.Heap, inj *fault.Injector, base vm.VAddr, n int, prekeyRand io.Reader, opts ...Option) (*Region, error) {
 	if heap == nil || n <= 0 {
 		return nil, fmt.Errorf("seal: bad region (%d bytes)", n)
 	}
 	r := &Region{heap: heap, inj: inj, base: base, n: n}
+	for _, opt := range opts {
+		opt(r)
+	}
 	if _, err := io.ReadFull(prekeyRand, r.prekey[:]); err != nil {
 		return nil, fmt.Errorf("seal: prekey: %w", err)
 	}

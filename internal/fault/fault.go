@@ -101,6 +101,28 @@ func (s Site) String() string {
 	}
 }
 
+// Transient reports whether an injected failure at this site leaves the
+// faulted operation retryable: the fail-closed handling provably restored
+// (or never perturbed) the state the operation needs, so a later attempt
+// can succeed if the injector relents. This is the static half of the
+// retry taxonomy internal/supervise builds on — the dynamic half
+// (supervise.Classify) keys on the domain errors these sites wrap, and a
+// table-driven test at the module root keeps the two in agreement.
+//
+// Non-transient sites are exactly the two whose failure is irreversible
+// by design: SiteZeroOnFree (the page stays allocated-and-dirty; the
+// copy-minimization degradation it causes is permanent for the run) and
+// SiteSeal (the fail-closed response destroys the sealed key; only
+// re-provisioning from an out-of-RAM anchor, not a retry, can recover).
+func (s Site) Transient() bool {
+	switch s {
+	case SiteZeroOnFree, SiteSeal:
+		return false
+	default:
+		return true
+	}
+}
+
 // Sites returns every defined site, in declaration order.
 func Sites() []Site {
 	out := make([]Site, 0, int(numSites)-1)

@@ -78,6 +78,25 @@ func (m *Module) PrivateOp(slot int, input []byte) ([]byte, error) {
 	return key.SignCRT(input)
 }
 
+// ExportPEM re-exports a slot's private key as PEM — the re-provisioning
+// escrow primitive: after a fail-closed destroy of a sealed software key,
+// a supervisor (internal/supervise) draws a fresh copy from the anchor,
+// re-installs the key file, and restarts the server under a new sealing
+// epoch. Real devices guard this with wrap keys and policy; the model
+// only needs the dataflow. The returned buffer is key material in native
+// memory — the caller owns it and must scrub it (the source marker makes
+// the keylifetime verifier prove that on every path).
+//
+//memlint:source result=0
+func (m *Module) ExportPEM(slot int) ([]byte, error) {
+	key, ok := m.slots[slot]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSlot, slot)
+	}
+	m.ops++
+	return key.MarshalPEM(), nil
+}
+
 // PublicKey exports the slot's public half (public keys are not secret).
 func (m *Module) PublicKey(slot int) (rsakey.PublicKey, error) {
 	key, ok := m.slots[slot]

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"memshield/internal/crypto/rsakey"
+	"memshield/internal/scrub"
 	"memshield/internal/stats"
 )
 
@@ -112,5 +113,40 @@ func TestSlotHandle(t *testing.T) {
 	}
 	if err := pub.Verify(msg, sig); err != nil {
 		t.Fatal("slot handle signature must verify")
+	}
+}
+
+func TestExportPEM(t *testing.T) {
+	m := New()
+	key := testKey(t)
+	slot, err := m.Import(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsBefore := m.Ops()
+	pem, err := m.ExportPEM(slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scrub.Bytes(pem)
+	if m.Ops() != opsBefore+1 {
+		t.Fatalf("export should count as a device operation: %d -> %d", opsBefore, m.Ops())
+	}
+	// The escrow round-trips: the exported PEM parses back to the same key.
+	back, err := rsakey.ParsePEM(pem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.D.Cmp(key.D) != 0 || back.P.Cmp(key.P) != 0 || back.Q.Cmp(key.Q) != 0 {
+		t.Fatal("exported key does not match the provisioned one")
+	}
+	if _, err := m.ExportPEM(slot + 99); !errors.Is(err, ErrNoSlot) {
+		t.Fatalf("export of an unknown slot: %v", err)
+	}
+	if err := m.Destroy(slot); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ExportPEM(slot); !errors.Is(err, ErrNoSlot) {
+		t.Fatalf("export of a destroyed slot: %v", err)
 	}
 }

@@ -66,6 +66,16 @@ const MaxOrder = 10
 // larger, splittable order) is free.
 var ErrOutOfMemory = errors.New("alloc: out of memory")
 
+// ErrZeroOnFree is returned when the zero-on-free scrub of a page could
+// not run (an injected SiteZeroOnFree failure). The free does not
+// complete: the block stays allocated-and-dirty rather than entering the
+// free lists with live contents — pages leak, contents never do. The
+// failure is terminal for that block within the run (retrying the free
+// would re-consult the same denied scrub), which is why the retry
+// taxonomy (fault.Site.Transient, supervise.Classify) treats it as
+// permanent rather than transient.
+var ErrZeroOnFree = errors.New("alloc: zero on free failed")
+
 // Stats aggregates allocator activity counters.
 type Stats struct {
 	Allocs      int // successful allocations (blocks)
@@ -301,7 +311,7 @@ func (a *Allocator) Free(pn mem.PageNum) error {
 	if a.policy == PolicyZeroOnFree {
 		for p := pn; p < pn+size; p++ {
 			if err := a.zeroPage(p); err != nil {
-				return fmt.Errorf("alloc: zero on free: %w", err)
+				return fmt.Errorf("%w: %w", ErrZeroOnFree, err)
 			}
 		}
 	}
@@ -380,6 +390,18 @@ func (a *Allocator) Tick() {
 
 // PendingZero reports how many pages await deferred zeroing.
 func (a *Allocator) PendingZero() int { return len(a.deferredZero) }
+
+// ZeroPending reports whether a page is queued for deferred zeroing:
+// the secure-dealloc deferral window the design accepts. Always false
+// under the synchronous policies (their queue stays empty).
+func (a *Allocator) ZeroPending(pn mem.PageNum) bool {
+	for _, p := range a.deferredZero {
+		if p == pn {
+			return true
+		}
+	}
+	return false
+}
 
 // CheckConsistency validates allocator invariants, returning the first
 // violation found. It is intended for tests and property checks:

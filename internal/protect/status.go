@@ -11,7 +11,10 @@
 // rule.
 package protect
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Guarantee is one concrete protection property a level can promise.
 type Guarantee int
@@ -98,10 +101,38 @@ func (l Level) fallbacks() []Level {
 
 // Status records what protection one server run actually delivered.
 // The zero value is unusable; create with NewStatus.
+//
+// A Status is safe for concurrent use. The contract under concurrency is
+// first-reason-wins per open window: for each guarantee (and for the
+// refusal slot) exactly one caller's reason is recorded — decided under
+// the status lock — and every later Degrade/Refuse, concurrent or not, is
+// a no-op until a Repair closes the window. Readers (Effective, Summary,
+// Refused, Degraded, Windows) always observe a consistent snapshot.
 type Status struct {
+	mu         sync.Mutex
 	configured Level
 	refused    string
 	degraded   map[Guarantee]string
+	windows    []Window
+}
+
+// Window records one repaired outage: a guarantee — or, when Guarantee is
+// zero, the whole refused setup — that was lost and later re-established
+// by a supervisor (internal/supervise). A closed window no longer weakens
+// Effective, because the repair re-established the mechanism itself (a
+// re-provisioned sealed master seals under a fresh prekey and epoch, a
+// restarted server redelivered every Start-time guarantee). What a window
+// ADMITS is history: during the span between Reason and Repair the run
+// did not deliver the named guarantee, so a run that was ever degraded
+// can never present itself as continuously intact — Summary names every
+// window, and the fault-matrix and soak fingerprints include them.
+type Window struct {
+	// Guarantee is the repaired guarantee, or 0 for a refusal window.
+	Guarantee Guarantee
+	// Reason is the first recorded failure that opened the window.
+	Reason string
+	// Repair describes the recovery that closed it.
+	Repair string
 }
 
 // NewStatus starts tracking a run configured for the given level, with
@@ -118,26 +149,83 @@ func (s *Status) Configured() Level { return s.configured }
 
 // Degrade records that a guarantee no longer holds, with the reason.
 // Idempotent: the first reason is kept (it names the original failure;
-// later failures are usually consequences).
+// later failures are usually consequences). Under concurrent callers the
+// winner is decided under the status lock, so exactly one reason is ever
+// recorded per open window.
 func (s *Status) Degrade(g Guarantee, reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.degraded[g]; !ok {
 		s.degraded[g] = reason
 	}
 }
 
 // Refuse records that setup failed outright and the run delivers no
-// protection claim at all (scrub-and-refuse). First reason is kept.
+// protection claim at all (scrub-and-refuse). First reason is kept, with
+// the same locked first-reason-wins contract as Degrade.
 func (s *Status) Refuse(reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.refused == "" {
 		s.refused = reason
 	}
 }
 
-// Refused reports whether the run was refused, with the reason.
-func (s *Status) Refused() (bool, string) { return s.refused != "", s.refused }
+// Repair closes a guarantee's open degradation window: the recorded
+// reason moves into the window history with the given repair note, and
+// the guarantee counts as delivered again from here on. Returns false if
+// the guarantee was not degraded. Only a supervisor that actually
+// re-established the mechanism may call this — repairing a guarantee the
+// machine still lacks would be exactly the false security claim
+// core.AuditEffective exists to catch.
+func (s *Status) Repair(g Guarantee, how string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reason, ok := s.degraded[g]
+	if !ok {
+		return false
+	}
+	delete(s.degraded, g)
+	s.windows = append(s.windows, Window{Guarantee: g, Reason: reason, Repair: how})
+	return true
+}
+
+// RepairRefusal closes an open refusal window after a supervised restart
+// re-established the whole setup: the refusal reason moves into the
+// window history and the run claims its configured level again (minus any
+// still-degraded guarantees). Returns false if the run was not refused.
+func (s *Status) RepairRefusal(how string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.refused == "" {
+		return false
+	}
+	s.windows = append(s.windows, Window{Reason: s.refused, Repair: how})
+	s.refused = ""
+	return true
+}
+
+// Windows returns the closed degradation/refusal windows, in the order
+// they were repaired.
+func (s *Status) Windows() []Window {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Window, len(s.windows))
+	copy(out, s.windows)
+	return out
+}
+
+// Refused reports whether the run is currently refused, with the reason.
+func (s *Status) Refused() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refused != "", s.refused
+}
 
 // Degraded returns the recorded reason for a guarantee, if any.
 func (s *Status) Degraded(g Guarantee) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	r, ok := s.degraded[g]
 	return r, ok
 }
@@ -147,6 +235,13 @@ func (s *Status) Degraded(g Guarantee) (string, bool) {
 // LevelNone. Effective never exceeds Configured, and with nothing
 // degraded it equals Configured.
 func (s *Status) Effective() Level {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.effectiveLocked()
+}
+
+// effectiveLocked is Effective's body; the caller holds s.mu.
+func (s *Status) effectiveLocked() Level {
 	if s.refused != "" {
 		return LevelNone
 	}
@@ -165,21 +260,35 @@ func (s *Status) Effective() Level {
 	return LevelNone
 }
 
-// Summary renders the status for reports: the effective level plus every
-// recorded degradation.
+// Summary renders the status for reports: the effective level, every
+// recorded degradation, and — when a supervisor repaired outages — the
+// closed windows, so a run that was ever degraded never reads as
+// continuously intact. A run with no windows renders exactly as it did
+// before windows existed, keeping historical fingerprints stable.
 func (s *Status) Summary() string {
-	eff := s.Effective()
-	if refused, reason := s.Refused(); refused {
-		return fmt.Sprintf("refused (%s); effective %s", reason, eff)
-	}
-	if eff == s.configured && len(s.degraded) == 0 {
-		return fmt.Sprintf("intact at %s", eff)
-	}
-	out := fmt.Sprintf("configured %s, effective %s", s.configured, eff)
-	for _, g := range []Guarantee{GuaranteeCopyMinimized, GuaranteeNoSwap, GuaranteeZeroesUnallocated, GuaranteePEMEvicted, GuaranteeSealedAtRest} {
-		if reason, ok := s.degraded[g]; ok {
-			out += fmt.Sprintf("; %s lost: %s", g, reason)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eff := s.effectiveLocked()
+	var out string
+	switch {
+	case s.refused != "":
+		out = fmt.Sprintf("refused (%s); effective %s", s.refused, eff)
+	case eff == s.configured && len(s.degraded) == 0:
+		out = fmt.Sprintf("intact at %s", eff)
+	default:
+		out = fmt.Sprintf("configured %s, effective %s", s.configured, eff)
+		for _, g := range []Guarantee{GuaranteeCopyMinimized, GuaranteeNoSwap, GuaranteeZeroesUnallocated, GuaranteePEMEvicted, GuaranteeSealedAtRest} {
+			if reason, ok := s.degraded[g]; ok {
+				out += fmt.Sprintf("; %s lost: %s", g, reason)
+			}
 		}
+	}
+	for _, w := range s.windows {
+		name := "setup"
+		if w.Guarantee != 0 {
+			name = w.Guarantee.String()
+		}
+		out += fmt.Sprintf("; window[%s lost: %s; repaired: %s]", name, w.Reason, w.Repair)
 	}
 	return out
 }

@@ -1,7 +1,9 @@
 package protect
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -143,5 +145,124 @@ func TestDegradeKeepsFirstReason(t *testing.T) {
 	}
 	if !strings.Contains(st.Summary(), "no-swap lost: first") {
 		t.Fatalf("summary %q missing degradation", st.Summary())
+	}
+}
+
+// TestDegradeFirstReasonUnderRace pins the concurrent contract: with many
+// goroutines racing to degrade the same guarantee (and to refuse the
+// setup), exactly one reason wins per open window — decided under the
+// status lock — and concurrent readers always see a consistent snapshot.
+// CI runs the test suite under -race, so this test also proves the
+// absence of data races on the Status fields.
+func TestDegradeFirstReasonUnderRace(t *testing.T) {
+	st := NewStatus(LevelSealed)
+	const writers = 64
+	reasons := make(map[string]bool, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		reason := fmt.Sprintf("failure from goroutine %d", i)
+		reasons[reason] = true
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.Degrade(GuaranteeSealedAtRest, reason)
+			st.Refuse(reason)
+			// Concurrent readers must not tear.
+			_ = st.Effective()
+			_ = st.Summary()
+			_, _ = st.Degraded(GuaranteeSealedAtRest)
+		}()
+	}
+	wg.Wait()
+	got, ok := st.Degraded(GuaranteeSealedAtRest)
+	if !ok || !reasons[got] {
+		t.Fatalf("recorded reason %q (ok=%v) is not one of the writers'", got, ok)
+	}
+	// The winner is sticky: later sequential calls change nothing.
+	st.Degrade(GuaranteeSealedAtRest, "latecomer")
+	if again, _ := st.Degraded(GuaranteeSealedAtRest); again != got {
+		t.Fatalf("first reason not kept: %q then %q", got, again)
+	}
+	if refused, reason := st.Refused(); !refused || !reasons[reason] {
+		t.Fatalf("refusal reason %q (refused=%v) is not one of the writers'", reason, refused)
+	}
+}
+
+func TestRepairClosesWindowAndRestoresEffective(t *testing.T) {
+	st := NewStatus(LevelSealed)
+	st.Degrade(GuaranteeSealedAtRest, "reseal failed")
+	if eff := st.Effective(); eff != LevelIntegrated {
+		t.Fatalf("degraded effective %s, want integrated", eff)
+	}
+	if !st.Repair(GuaranteeSealedAtRest, "re-provisioned under epoch 1") {
+		t.Fatal("Repair of a degraded guarantee should report true")
+	}
+	if eff := st.Effective(); eff != LevelSealed {
+		t.Fatalf("repaired effective %s, want sealed", eff)
+	}
+	if st.Repair(GuaranteeSealedAtRest, "again") {
+		t.Fatal("Repair of an intact guarantee should be a no-op")
+	}
+	ws := st.Windows()
+	if len(ws) != 1 || ws[0].Guarantee != GuaranteeSealedAtRest ||
+		ws[0].Reason != "reseal failed" || ws[0].Repair != "re-provisioned under epoch 1" {
+		t.Fatalf("windows = %+v", ws)
+	}
+	// The history is named in the summary: the run never reads as
+	// continuously intact.
+	sum := st.Summary()
+	if !strings.Contains(sum, "window[sealed-at-rest lost: reseal failed; repaired: re-provisioned under epoch 1]") {
+		t.Fatalf("summary %q does not name the closed window", sum)
+	}
+	// A later failure opens a fresh window with its own first reason.
+	st.Degrade(GuaranteeSealedAtRest, "second outage")
+	if r, _ := st.Degraded(GuaranteeSealedAtRest); r != "second outage" {
+		t.Fatalf("new window reason %q, want second outage", r)
+	}
+	if eff := st.Effective(); eff != LevelIntegrated {
+		t.Fatalf("re-degraded effective %s, want integrated", eff)
+	}
+}
+
+func TestRepairRefusal(t *testing.T) {
+	st := NewStatus(LevelIntegrated)
+	if st.RepairRefusal("nothing to repair") {
+		t.Fatal("RepairRefusal without a refusal should be a no-op")
+	}
+	st.Refuse("mlock denied at setup")
+	if !st.RepairRefusal("restart attempt 2 succeeded") {
+		t.Fatal("RepairRefusal of a refused status should report true")
+	}
+	if refused, _ := st.Refused(); refused {
+		t.Fatal("repaired status must no longer be refused")
+	}
+	if eff := st.Effective(); eff != LevelIntegrated {
+		t.Fatalf("repaired effective %s, want configured integrated", eff)
+	}
+	ws := st.Windows()
+	if len(ws) != 1 || ws[0].Guarantee != 0 || ws[0].Reason != "mlock denied at setup" {
+		t.Fatalf("windows = %+v", ws)
+	}
+	if !strings.Contains(st.Summary(), "window[setup lost: mlock denied at setup") {
+		t.Fatalf("summary %q does not name the refusal window", st.Summary())
+	}
+}
+
+// TestSummaryWithoutWindowsUnchanged pins the renderer: a run with no
+// windows produces exactly the pre-window format, so every historical
+// fingerprint (fault matrix, goldens) is untouched by the windows feature.
+func TestSummaryWithoutWindowsUnchanged(t *testing.T) {
+	st := NewStatus(LevelSealed)
+	if got := st.Summary(); got != "intact at sealed" {
+		t.Fatalf("intact summary %q", got)
+	}
+	st.Degrade(GuaranteeSealedAtRest, "reseal failed")
+	if got := st.Summary(); got != "configured sealed, effective integrated; sealed-at-rest lost: reseal failed" {
+		t.Fatalf("degraded summary %q", got)
+	}
+	st2 := NewStatus(LevelKernel)
+	st2.Refuse("boom")
+	if got := st2.Summary(); got != "refused (boom); effective none" {
+		t.Fatalf("refused summary %q", got)
 	}
 }

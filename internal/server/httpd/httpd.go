@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"memshield/internal/crypto/rsakey"
+	"memshield/internal/crypto/seal"
 	"memshield/internal/hsm"
 	"memshield/internal/kernel"
 	"memshield/internal/libc"
@@ -61,6 +62,14 @@ type Config struct {
 	RequestBufferBytes int
 	// Seed drives handshake nonces deterministically.
 	Seed int64
+	// SealEpoch selects the sealed parent key's provisioning generation
+	// (LevelSealed only). Epoch 0 — the default — is the initial
+	// out-of-band provisioning and derives the prekey stream exactly as
+	// before this field existed, keeping every golden timeline
+	// byte-identical. A supervisor re-provisioning after a fail-closed
+	// destroy (internal/supervise) passes successive epochs, so each
+	// generation seals under a fresh prekey and a disjoint epoch range.
+	SealEpoch int64
 	// HSM, when set, backs the TLS key with a hardware security module
 	// slot: no key material ever enters machine memory (the paper's
 	// "special hardware" endpoint). KeyPath is unused in this mode.
@@ -211,9 +220,17 @@ func Start(k *kernel.Kernel, cfg Config) (*Server, error) {
 			// Seal the operational key once the config pass settles (the
 			// throwaway first generation is already scrubbed). The prekey
 			// stream is derived from the server seed (sub-stream 4; nonces
-			// use the raw seed). A seal that cannot be established leaves
-			// plaintext behind — scrub it and refuse.
-			if err := parentRSA.SealAtRest(stats.NewReader(stats.DeriveSeed(cfg.Seed, 4)), k.Injector()); err != nil {
+			// use the raw seed); a re-provisioned generation (SealEpoch > 0)
+			// folds the epoch into the derivation and starts the region's
+			// epoch counter in its own disjoint range. A seal that cannot be
+			// established leaves plaintext behind — scrub it and refuse.
+			prekeySeed := stats.DeriveSeed(cfg.Seed, 4)
+			var sealOpts []seal.Option
+			if cfg.SealEpoch != 0 {
+				prekeySeed = stats.DeriveSeed(cfg.Seed, 4, cfg.SealEpoch)
+				sealOpts = append(sealOpts, seal.WithStartEpoch(uint64(cfg.SealEpoch)<<32))
+			}
+			if err := parentRSA.SealAtRest(stats.NewReader(prekeySeed), k.Injector(), sealOpts...); err != nil {
 				return nil, s.refuse(errors.Join(
 					fmt.Errorf("httpd: TLS key: %w", err), parentRSA.Free(true)))
 			}

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"memshield/internal/crypto/rsakey"
+	"memshield/internal/crypto/seal"
 	"memshield/internal/hsm"
 	"memshield/internal/kernel"
 	"memshield/internal/libc"
@@ -48,6 +49,14 @@ type Config struct {
 	SessionBufferBytes int
 	// Seed drives the handshake nonces deterministically.
 	Seed int64
+	// SealEpoch selects the sealed master's provisioning generation
+	// (LevelSealed only). Epoch 0 — the default — is the initial
+	// out-of-band provisioning and derives the prekey stream exactly as
+	// before this field existed, keeping every golden timeline
+	// byte-identical. A supervisor re-provisioning after a fail-closed
+	// destroy (internal/supervise) passes successive epochs, so each
+	// generation seals under a fresh prekey and a disjoint epoch range.
+	SealEpoch int64
 	// HSM, when set, backs the host key with a hardware security module
 	// slot instead of a PEM file: the key never enters machine memory at
 	// all (the paper's "special hardware" endpoint). KeyPath and the
@@ -215,9 +224,18 @@ func loadHostKey(k *kernel.Kernel, heap *libc.Heap, cfg Config) (*ssl.RSA, error
 		// Encrypt the aligned region at rest. The prekey stream is derived
 		// from the server seed (sub-stream 4; the nonce stream uses the raw
 		// seed), so a given config always seals to the same ciphertext. A
-		// seal that cannot be established leaves plaintext behind — scrub
-		// it and refuse.
-		if err := r.SealAtRest(stats.NewReader(stats.DeriveSeed(cfg.Seed, 4)), k.Injector()); err != nil {
+		// re-provisioned generation (SealEpoch > 0) folds the epoch into
+		// the derivation and starts the region's epoch counter in its own
+		// disjoint range — fresh key material per generation. A seal that
+		// cannot be established leaves plaintext behind — scrub it and
+		// refuse.
+		prekeySeed := stats.DeriveSeed(cfg.Seed, 4)
+		var sealOpts []seal.Option
+		if cfg.SealEpoch != 0 {
+			prekeySeed = stats.DeriveSeed(cfg.Seed, 4, cfg.SealEpoch)
+			sealOpts = append(sealOpts, seal.WithStartEpoch(uint64(cfg.SealEpoch)<<32))
+		}
+		if err := r.SealAtRest(stats.NewReader(prekeySeed), k.Injector(), sealOpts...); err != nil {
 			return nil, errors.Join(fmt.Errorf("sshd: host key: %w", err), r.Free(true))
 		}
 	}

@@ -14,6 +14,7 @@ import (
 
 	"memshield/internal/crypto/rsakey"
 	"memshield/internal/fault"
+	"memshield/internal/hsm"
 	"memshield/internal/kernel"
 	"memshield/internal/protect"
 	"memshield/internal/scan"
@@ -21,6 +22,7 @@ import (
 	"memshield/internal/server/httpd"
 	"memshield/internal/server/sshd"
 	"memshield/internal/stats"
+	"memshield/internal/supervise"
 )
 
 // ServerKind selects which case study to run.
@@ -111,6 +113,14 @@ type Config struct {
 	// ScanWorkers is the shard fan-out for the per-tick memory scan
 	// (0 = one per CPU). Any value yields byte-identical samples.
 	ScanWorkers int
+	// Recovery, when set, runs the server under a supervisor with this
+	// retry policy (internal/supervise): transient workload failures are
+	// retried with seeded backoff, a destroyed sealed key re-provisions
+	// from an escrow anchor, and per-tick errors no longer abort the
+	// timeline — the sample stream records the outage instead. Nil — the
+	// default — keeps the raw fail-closed servers and every golden
+	// timeline byte-identical.
+	Recovery *supervise.Policy
 }
 
 func (c *Config) applyDefaults() {
@@ -155,6 +165,11 @@ type Result struct {
 	Key      *rsakey.PrivateKey
 	MemPages int
 	Samples  []TickSample
+	// RecoveryCounters is the supervisor's final accounting when the run
+	// was supervised (Config.Recovery non-nil); zero otherwise.
+	RecoveryCounters supervise.Counters
+	// Generations counts server boots under supervision (1 = no restart).
+	Generations int
 }
 
 // serverHandle unifies the two servers for the driver loop.
@@ -226,20 +241,33 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{Config: cfg, Key: key, MemPages: cfg.MemPages}
 
 	var srv serverHandle
+	var sup *supervise.Supervisor
 	var open []int
+	gen := 0
 	for tick := 0; tick <= cfg.Schedule.End; tick++ {
 		// Server lifecycle events.
 		if tick == cfg.Schedule.StartServer {
-			srv, err = startServer(k, cfg)
-			if err != nil {
-				return nil, err
+			if cfg.Recovery != nil {
+				sup, err = startSupervised(k, cfg, key)
+				if err != nil {
+					return nil, err
+				}
+				srv, gen = sup, sup.Generation()
+			} else {
+				srv, err = startServer(k, cfg)
+				if err != nil {
+					return nil, err
+				}
 			}
 		}
 		if tick == cfg.Schedule.StopServer && srv != nil {
-			if err := srv.Stop(); err != nil {
+			if err := srv.Stop(); err != nil && sup == nil {
 				return nil, fmt.Errorf("sim: stop: %w", err)
 			}
-			srv = nil
+			if sup != nil {
+				res.RecoveryCounters, res.Generations = sup.Counters(), sup.Generation()
+			}
+			srv, sup = nil, nil
 			open = nil
 		}
 		// Traffic churn towards the tick's target. Each round models one
@@ -249,27 +277,50 @@ func Run(cfg Config) (*Result, error) {
 		// of freshly freed per-connection pages, the way a real server's
 		// teardown continuously feeds key copies into unallocated memory.
 		if srv != nil {
+			// Under supervision a re-provision restarts the server: stale
+			// connection IDs belong to the dead generation, and a dead
+			// supervisor (re-provision budget spent) ends service early —
+			// both are outages the samples record, not driver errors.
+			if sup != nil {
+				if g := sup.Generation(); g != gen {
+					gen, open = g, nil
+				}
+				if sup.Failed() != nil || !sup.Running() {
+					res.RecoveryCounters, res.Generations = sup.Counters(), sup.Generation()
+					srv, sup, open = nil, nil, nil
+				}
+			}
+		}
+		if srv != nil {
 			target := cfg.Schedule.targetConns(tick, cfg.LowConns, cfg.HighConns)
 			for round := 0; round < cfg.ChurnRounds; round++ {
 				fresh := make([]int, 0, target)
 				for i := 0; i < target; i++ {
 					id, err := srv.Connect()
 					if err != nil {
+						if sup != nil {
+							continue // slot lost to the outage; samples show the dip
+						}
 						return nil, fmt.Errorf("sim: tick %d connect: %w", tick, err)
 					}
 					fresh = append(fresh, id)
-					if err := srv.Churn(id, cfg.TransferBytes); err != nil {
+					if err := srv.Churn(id, cfg.TransferBytes); err != nil && sup == nil {
 						return nil, fmt.Errorf("sim: tick %d churn: %w", tick, err)
 					}
 				}
+				if sup != nil && sup.Generation() != gen {
+					// A mid-round re-provision invalidated every ID; the
+					// fresh batch died with the old generation too.
+					gen, open, fresh = sup.Generation(), nil, nil
+				}
 				for _, id := range open {
-					if err := srv.Disconnect(id); err != nil {
+					if err := srv.Disconnect(id); err != nil && sup == nil {
 						return nil, fmt.Errorf("sim: tick %d: %w", tick, err)
 					}
 				}
 				open = fresh
 			}
-			if err := srv.Maintain(); err != nil {
+			if err := srv.Maintain(); err != nil && sup == nil {
 				return nil, fmt.Errorf("sim: tick %d maintain: %w", tick, err)
 			}
 		}
@@ -284,6 +335,31 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// startSupervised boots the configured server under a supervisor, with
+// an escrow anchor provisioned from the run's key — the same out-of-RAM
+// trust the initial key install assumes — so a destroyed sealed master
+// can re-provision mid-timeline.
+func startSupervised(k *kernel.Kernel, cfg Config, key *rsakey.PrivateKey) (*supervise.Supervisor, error) {
+	anchor := hsm.New()
+	slot, err := anchor.Import(key)
+	if err != nil {
+		return nil, fmt.Errorf("sim: anchor: %w", err)
+	}
+	kind := supervise.KindSSHD
+	if cfg.Kind == KindApache {
+		kind = supervise.KindHTTPD
+	}
+	sup := supervise.New(k, supervise.Config{
+		Kind: kind, KeyPath: KeyPath, Level: cfg.Level,
+		Seed: stats.DeriveSeed(cfg.Seed, 3), Policy: *cfg.Recovery,
+		Anchor: anchor, AnchorSlot: slot,
+	})
+	if err := sup.Start(); err != nil {
+		return nil, fmt.Errorf("sim: supervised start: %w", err)
+	}
+	return sup, nil
 }
 
 // startServer boots the configured server kind.

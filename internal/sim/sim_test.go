@@ -3,8 +3,10 @@ package sim
 import (
 	"testing"
 
+	"memshield/internal/fault"
 	"memshield/internal/protect"
 	"memshield/internal/scan"
+	"memshield/internal/supervise"
 )
 
 // runTL runs a timeline with small-but-representative parameters.
@@ -261,6 +263,101 @@ func TestCustomScheduleAndConfig(t *testing.T) {
 	for _, s := range res.Samples {
 		if s.Summary.Unallocated != 0 {
 			t.Fatalf("tick %d: unallocated copies", s.Tick)
+		}
+	}
+}
+
+// TestSupervisedTimelineZeroOverhead pins that supervision is inert on
+// the golden path: with a recovery policy armed but no faults injected,
+// every sample matches the unsupervised timeline byte for byte.
+func TestSupervisedTimelineZeroOverhead(t *testing.T) {
+	policy := supervise.DefaultPolicy(11)
+	plain, err := Run(Config{Kind: KindSSH, Level: protect.LevelSealed, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := Run(Config{Kind: KindSSH, Level: protect.LevelSealed, Seed: 11, Recovery: &policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Samples) != len(sup.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(plain.Samples), len(sup.Samples))
+	}
+	for i := range plain.Samples {
+		a, b := plain.Samples[i], sup.Samples[i]
+		if a.Summary.Total != b.Summary.Total || a.Conns != b.Conns || a.ServerRunning != b.ServerRunning {
+			t.Fatalf("tick %d diverged under inert supervision: %+v vs %+v", a.Tick, a.Summary, b.Summary)
+		}
+	}
+	if c := sup.RecoveryCounters; c.Retries != 0 || c.Reprovisions != 0 {
+		t.Fatalf("fault-free run recorded recovery work: %+v", c)
+	}
+	if sup.Generations != 1 {
+		t.Fatalf("generations = %d, want 1", sup.Generations)
+	}
+}
+
+// TestSupervisedTimelineSurvivesUnsealStorm arms a heavy unseal fault
+// rate that would abort the unsupervised driver, and demands the
+// supervised timeline complete with retries on the record.
+func TestSupervisedTimelineSurvivesUnsealStorm(t *testing.T) {
+	policy := supervise.DefaultPolicy(11)
+	cfg := Config{
+		Kind: KindSSH, Level: protect.LevelSealed, Seed: 11,
+		FaultPlan: &fault.Plan{Seed: 11, Rules: map[fault.Site]fault.Rule{
+			fault.SiteUnseal: {Prob: 0.2},
+		}},
+		Recovery: &policy,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("supervised timeline should absorb transient unseal refusals: %v", err)
+	}
+	if res.RecoveryCounters.Retries == 0 {
+		t.Fatal("storm produced no retries; the fault rate is too low to test recovery")
+	}
+	// Replay determinism: same config, same samples, same accounting.
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecoveryCounters != res2.RecoveryCounters || res.Generations != res2.Generations {
+		t.Fatalf("replay diverged: %+v/%d vs %+v/%d",
+			res.RecoveryCounters, res.Generations, res2.RecoveryCounters, res2.Generations)
+	}
+	for i := range res.Samples {
+		if res.Samples[i].Summary.Total != res2.Samples[i].Summary.Total {
+			t.Fatalf("tick %d sample diverged on replay", res.Samples[i].Tick)
+		}
+	}
+}
+
+// TestSupervisedTimelineReprovisions scripts the first reseal to fail:
+// the sealed master is destroyed fail-closed mid-timeline, the
+// supervisor re-provisions from the anchor under a new epoch, and the
+// timeline finishes on the second generation with no plaintext parts in
+// any later sample (the scanner runs outside private-op windows).
+func TestSupervisedTimelineReprovisions(t *testing.T) {
+	policy := supervise.DefaultPolicy(11)
+	res, err := Run(Config{
+		Kind: KindSSH, Level: protect.LevelSealed, Seed: 11,
+		FaultPlan: &fault.Plan{Seed: 11, Rules: map[fault.Site]fault.Rule{
+			fault.SiteSeal: {Nth: []uint64{1}},
+		}},
+		Recovery: &policy,
+	})
+	if err != nil {
+		t.Fatalf("supervised timeline should survive the destroy: %v", err)
+	}
+	if res.RecoveryCounters.Reprovisions != 1 {
+		t.Fatalf("reprovisions = %d, want 1 (counters %+v)", res.RecoveryCounters.Reprovisions, res.RecoveryCounters)
+	}
+	if res.Generations != 2 {
+		t.Fatalf("generations = %d, want 2", res.Generations)
+	}
+	for _, s := range res.Samples {
+		if n := s.Summary.ByPart[scan.PartD] + s.Summary.ByPart[scan.PartP] + s.Summary.ByPart[scan.PartQ]; n != 0 {
+			t.Fatalf("tick %d: %d plaintext key parts visible at sealed level", s.Tick, n)
 		}
 	}
 }

@@ -414,8 +414,9 @@ func (r *RSA) ensureMontCache() error {
 // first — sealing individually malloc'd BIGNUMs would still leave the
 // Montgomery cache and heap churn unprotected, so only the single-region
 // layout is sealable. The prekey is drawn from prekeyRand; inj (may be
-// nil) arms the SiteUnseal/SiteSeal fault sites.
-func (r *RSA) SealAtRest(prekeyRand io.Reader, inj *fault.Injector) error {
+// nil) arms the SiteUnseal/SiteSeal fault sites. Options pass through to
+// seal.New (re-provisioning sets the starting epoch per generation).
+func (r *RSA) SealAtRest(prekeyRand io.Reader, inj *fault.Injector, opts ...seal.Option) error {
 	if r.freed {
 		return ErrFreed
 	}
@@ -429,7 +430,7 @@ func (r *RSA) SealAtRest(prekeyRand io.Reader, inj *fault.Injector) error {
 	for _, bn := range r.Parts() {
 		total += bn.size
 	}
-	region, err := seal.New(r.heap, inj, r.aligned, total, prekeyRand)
+	region, err := seal.New(r.heap, inj, r.aligned, total, prekeyRand, opts...)
 	if err != nil {
 		return fmt.Errorf("ssl: seal: %w", err)
 	}

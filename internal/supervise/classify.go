@@ -1,0 +1,89 @@
+// Retry taxonomy: the dynamic half of the classification that
+// fault.Site.Transient states statically. Classify maps an operation
+// error onto what a supervisor may do about it — retry, re-provision, or
+// give up — keyed on the DOMAIN sentinels the fault sites wrap, never on
+// fault.ErrInjected alone: an injected failure and an organic one (a
+// genuinely full swap device, a genuinely exhausted allocator) must drive
+// the same recovery decision, and every injected error wraps both targets
+// (TestInjectedWrapChains at the module root sweeps all sites to prove
+// it), so classifying by domain error loses nothing.
+package supervise
+
+import (
+	"errors"
+
+	"memshield/internal/crypto/seal"
+	"memshield/internal/kernel/alloc"
+	"memshield/internal/kernel/fs"
+	"memshield/internal/kernel/pagecache"
+	"memshield/internal/kernel/vm"
+	"memshield/internal/libc"
+)
+
+// Class is what a supervisor may do about a failed operation.
+type Class int
+
+// Classes. The zero Class is reserved for nil errors.
+const (
+	// ClassTransient: the fail-closed handling provably left the state
+	// the operation needs intact (a refused unseal keeps the ciphertext,
+	// a denied allocation allocates nothing, a full swap device swaps
+	// nothing), so a seeded-backoff retry is sound.
+	ClassTransient Class = iota + 1
+	// ClassReprovision: the sealed master was destroyed fail-closed (a
+	// failed reseal, or any later use of the destroyed region). No retry
+	// can succeed — only re-deriving a fresh sealed key from the
+	// out-of-RAM anchor under a new epoch and restarting the server.
+	ClassReprovision
+	// ClassPermanent: everything else. Deliberately the default: a
+	// misclassification can only under-retry, never spin on an
+	// unrecoverable failure or re-drive an operation whose side effects
+	// stand (a zero-on-free denial leaves the block allocated-and-dirty
+	// by design — pages leak, contents never do — and the degradation it
+	// recorded is honest and final for that block).
+	ClassPermanent
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassTransient:
+		return "transient"
+	case ClassReprovision:
+		return "reprovision"
+	case ClassPermanent:
+		return "permanent"
+	default:
+		return "none"
+	}
+}
+
+// Classify maps an operation error to its retry class. Order matters: a
+// failed reseal wraps fault.ErrInjected like every transient site does,
+// and a destroyed region refuses every later window, so both must
+// classify as re-provision before any transient test runs — and a joined
+// teardown error that contains both a transient cause and a permanent
+// consequence classifies by the strongest recovery it needs.
+func Classify(err error) Class {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, seal.ErrReseal), errors.Is(err, seal.ErrDestroyed):
+		return ClassReprovision
+	case errors.Is(err, alloc.ErrZeroOnFree):
+		// Checked before the transient sentinels: an errors.Join from a
+		// teardown can carry ErrZeroOnFree next to a transient cause, and
+		// the un-scrubbed block makes the whole operation unretryable.
+		return ClassPermanent
+	case errors.Is(err, seal.ErrUnseal),
+		errors.Is(err, libc.ErrNoMem),
+		errors.Is(err, alloc.ErrOutOfMemory),
+		errors.Is(err, vm.ErrNoSwapSpace),
+		errors.Is(err, vm.ErrSwapIO),
+		errors.Is(err, vm.ErrMlockDenied),
+		errors.Is(err, pagecache.ErrEvictIO),
+		errors.Is(err, fs.ErrIO):
+		return ClassTransient
+	default:
+		return ClassPermanent
+	}
+}
