@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-cold lint-json lint-self test-faults soak soak-smoke bench-smoke fuzz figures figures-smoke
+.PHONY: all build test race lint lint-cold lint-json lint-self test-faults soak soak-smoke bench-smoke bench-json fleet-smoke fuzz figures figures-smoke
 
 all: build lint test
 
@@ -74,6 +74,21 @@ soak-smoke:
 # catches concurrency bit-rot in CI (DESIGN.md §9). CI runs this on each PR.
 bench-smoke:
 	$(GO) test -race -run TestNothing -bench 'BenchmarkMemoryScan|BenchmarkKeyfinderFactorScan' -benchtime=1x .
+
+# The published fleet bench trajectory (EXPERIMENTS.md "Benchmark JSON
+# format"): event engine vs per-tick loop baseline at 10k and 100k
+# connections plus the opt-in 1M timeline, converted to BENCH_10.json by
+# cmd/benchjson. Single-iteration runs — the workloads are deterministic,
+# so one iteration is the measurement.
+bench-json:
+	$(GO) test -run TestNothing -bench 'BenchmarkFleet' -benchmem -benchtime=1x -fleet-1m . | $(GO) run ./cmd/benchjson -o BENCH_10.json
+
+# Fleet engine smoke for CI: the shard/worker-invariance contract under
+# the race detector, then a small fleet storm (shared re-provision
+# budget, serial grant order) with the serial replay verified.
+fleet-smoke:
+	$(GO) test -race -run 'TestShardWorkerInvariance|TestEventLoopPopulationIdentical|TestFleetStorm' ./internal/fleet
+	$(GO) run ./cmd/soak -fleet 4 -rounds 6 -steps 40 -budget 2 -workers 4 -verify -log fleet-events.log
 
 # Short fuzz smoke over every fuzz target (30s each).
 fuzz:

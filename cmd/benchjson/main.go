@@ -1,0 +1,158 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// machine-readable JSON document, so benchmark trajectories can be
+// committed, diffed and consumed by tooling without re-parsing Go's
+// bench format everywhere.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkFleet' -benchmem -benchtime=1x . | benchjson -o BENCH_10.json
+//
+// The document shape (see EXPERIMENTS.md "Benchmark JSON format"):
+//
+//	{
+//	  "goos": "linux", "goarch": "amd64", "pkg": "memshield", "cpu": "...",
+//	  "benchmarks": [
+//	    {
+//	      "name": "BenchmarkFleetEvent10k", "n": 1,
+//	      "ns_per_op": 2514420973,
+//	      "bytes_per_op": 123, "allocs_per_op": 45,
+//	      "metrics": {"ns/simtick": 2514419, "conns": 10122}
+//	    }
+//	  ]
+//	}
+//
+// ns/op, B/op, allocs/op and MB/s land in their named fields; every other
+// `value unit` pair a benchmark reported via b.ReportMetric lands in
+// "metrics" keyed by its unit string. Non-benchmark lines (PASS, ok,
+// test logs) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	N           int64              `json:"n"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64           `json:"mb_per_sec,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the full converted output.
+type Document struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	outPath := fs.String("o", "", "write JSON to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	doc, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on input")
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, enc, 0o644)
+	}
+	_, err = out.Write(enc)
+	return err
+}
+
+// Parse reads `go test -bench` text and collects header context and
+// benchmark lines.
+func Parse(in io.Reader) (*Document, error) {
+	doc := &Document{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine parses one result line: name, iteration count, then
+// `value unit` pairs.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], N: n}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			val := v
+			b.BytesPerOp = &val
+		case "allocs/op":
+			val := v
+			b.AllocsPerOp = &val
+		case "MB/s":
+			val := v
+			b.MBPerSec = &val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: memshield
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFleetEvent10k 	       1	2514420973 ns/op	     10122 conns	   2514419 ns/simtick	      1014 peak-open
+BenchmarkFleetLoop10k  	       1	13244659935 ns/op	      2390 conns	  66223288 ns/simtick	       831.0 peak-open
+BenchmarkMachineBoot32MB-4   	     100	  12345678 ns/op	 4096000 B/op	    1234 allocs/op
+PASS
+ok  	memshield	15.771s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.Pkg != "memshield" {
+		t.Fatalf("header = %q/%q/%q", doc.GOOS, doc.GOARCH, doc.Pkg)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(doc.Benchmarks))
+	}
+	ev := doc.Benchmarks[0]
+	if ev.Name != "BenchmarkFleetEvent10k" || ev.N != 1 {
+		t.Fatalf("first bench = %+v", ev)
+	}
+	if ev.NsPerOp != 2514420973 {
+		t.Fatalf("ns_per_op = %v", ev.NsPerOp)
+	}
+	if ev.Metrics["conns"] != 10122 || ev.Metrics["ns/simtick"] != 2514419 || ev.Metrics["peak-open"] != 1014 {
+		t.Fatalf("metrics = %v", ev.Metrics)
+	}
+	loop := doc.Benchmarks[1]
+	if loop.Metrics["peak-open"] != 831.0 {
+		t.Fatalf("fractional metric = %v", loop.Metrics["peak-open"])
+	}
+	boot := doc.Benchmarks[2]
+	if boot.BytesPerOp == nil || *boot.BytesPerOp != 4096000 {
+		t.Fatalf("B/op = %v", boot.BytesPerOp)
+	}
+	if boot.AllocsPerOp == nil || *boot.AllocsPerOp != 1234 {
+		t.Fatalf("allocs/op = %v", boot.AllocsPerOp)
+	}
+	if boot.N != 100 {
+		t.Fatalf("n = %d", boot.N)
+	}
+}
+
+func TestRunProducesJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("round-tripped benchmarks = %d", len(doc.Benchmarks))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("PASS\nok x 1s\n"), &out); err == nil {
+		t.Fatal("want error on input with no benchmark lines")
+	}
+}

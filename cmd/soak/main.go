@@ -5,12 +5,19 @@
 // monotonic), and a deterministic event log that replays byte-identical
 // from the seed at any worker count.
 //
+// With -fleet N the storms run in fleet mode instead: N machines under
+// ONE fleet-level arbiter sharing a re-provision budget. Each machine's
+// gate parks it on a fail-closed sealed-key destroy; between drive
+// rounds the arbiter walks the machines serially in index order and
+// grants resumes until the shared budget runs dry (internal/fleet).
+//
 // Usage:
 //
 //	soak -storms 8 -steps 200 -seed 2007
 //	soak -server apache -level sealed -storms 4 -workers 4
 //	soak -storms 8 -verify            # re-run serially, demand identical logs
 //	soak -storms 8 -log events.log    # write the combined event log
+//	soak -fleet 6 -rounds 8 -steps 40 -budget 2 -verify
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"memshield/internal/fleet"
 	"memshield/internal/protect"
 	"memshield/internal/stats"
 	"memshield/internal/supervise"
@@ -63,6 +71,9 @@ func run(args []string, out io.Writer) error {
 		workers = fs.Int("workers", 4, "worker pool size (results are worker-count invariant)")
 		verify  = fs.Bool("verify", false, "re-run the sweep serially and fail on any byte difference")
 		logPath = fs.String("log", "", "write the combined event log to this host file")
+		fleetN  = fs.Int("fleet", 0, "fleet mode: machines under one shared re-provision budget (0 = classic storms)")
+		rounds  = fs.Int("rounds", 8, "fleet mode: drive+grant rounds")
+		budget  = fs.Int("budget", 0, "fleet mode: shared re-provision budget (0 = machines/2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +85,13 @@ func run(args []string, out io.Writer) error {
 	lvl, err := parseLevel(*level)
 	if err != nil {
 		return err
+	}
+	if *fleetN > 0 {
+		return runFleet(fleet.StormConfig{
+			Machines: *fleetN, Rounds: *rounds, StepsPerRound: *steps,
+			Kind: kind, Level: lvl, Seed: *seed, Budget: *budget,
+			Workers: *workers,
+		}, *verify, *logPath, out)
 	}
 
 	cfgs := make([]supervise.StormConfig, *storms)
@@ -136,6 +154,44 @@ func run(args []string, out io.Writer) error {
 		total.Recoveries, total.Exhaustions, total.Reprovisions, total.Restarts)
 	if violated > 0 {
 		return fmt.Errorf("%d storm(s) violated invariants", violated)
+	}
+	return nil
+}
+
+// runFleet drives one fleet storm: parallel drive rounds, serial grant
+// walks, shared budget. -verify re-runs the whole storm on one worker
+// and demands the log replay byte-identical.
+func runFleet(cfg fleet.StormConfig, verify bool, logPath string, out io.Writer) error {
+	res, err := fleet.RunFleetStorm(cfg)
+	if err != nil {
+		return err
+	}
+	combined := strings.Join(res.Log, "\n") + "\n"
+
+	if verify {
+		serial := cfg
+		serial.Workers = 1
+		replay, err := fleet.RunFleetStorm(serial)
+		if err != nil {
+			return fmt.Errorf("verify replay: %w", err)
+		}
+		if replay.Fingerprint != res.Fingerprint || strings.Join(replay.Log, "\n")+"\n" != combined {
+			return fmt.Errorf("verify: serial replay diverged from the workers=%d run", cfg.Workers)
+		}
+		fmt.Fprintf(out, "verify: fleet storm replays byte-identical at workers=%d and workers=1\n", cfg.Workers)
+	}
+
+	if logPath != "" {
+		if err := os.WriteFile(logPath, []byte(combined), 0o644); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(out, "fleet soak: %d machines, %d rounds (%d survived, %d parked, %d dead), parks=%d grants=%d denials=%d budget-left=%d fingerprint=%s\n",
+		res.Machines, res.Rounds, res.Survivors, res.Parked, res.Dead,
+		res.Parks, res.Grants, res.Denials, res.BudgetLeft, res.Fingerprint)
+	if res.InvariantErr != "" {
+		return fmt.Errorf("fleet storm violated invariants: %s", res.InvariantErr)
 	}
 	return nil
 }

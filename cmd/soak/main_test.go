@@ -64,6 +64,32 @@ func TestRunApacheSealed(t *testing.T) {
 	}
 }
 
+func TestRunFleetMode(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "fleet.log")
+	var out strings.Builder
+	err := run([]string{
+		"-fleet", "4", "-rounds", "6", "-steps", "40",
+		"-budget", "2", "-seed", "2007", "-workers", "4",
+		"-verify", "-log", logPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("fleet soak: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "fleet storm replays byte-identical") {
+		t.Fatalf("verify line missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "fleet soak: 4 machines") {
+		t.Fatalf("summary line missing:\n%s", out.String())
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "fleetstorm machines=4") {
+		t.Fatalf("fleet log artifact malformed:\n%.400s", data)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-server", "nginx"}, &out); err == nil {

@@ -119,6 +119,12 @@ var SimMachinePackages = []string{
 	// no-panic obligation as the machine layers they drive.
 	"memshield/internal/supervise",
 	"memshield/cmd/soak",
+	// The fleet engine drives thousands of supervised machines through
+	// long storms and timelines: a panic in its scheduler or storm loop
+	// would take the whole fleet down on one injected fault, so it holds
+	// the same obligation (its event heap is hand-rolled with ok-bool
+	// returns for exactly this reason).
+	"memshield/internal/fleet",
 }
 
 // SuppressionBudget caps the number of inline //memlint:allow directives

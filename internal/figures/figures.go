@@ -21,6 +21,7 @@
 //	lifetime       — key-copy lifetime analytics (Chow et al. metric)
 //	swap           — raw swap-device disclosure: plain vs mlock vs encrypted
 //	sealed         — OpenSSH timeline under sealed key memory (at-rest AEAD)
+//	fleet          — fleet-scale multi-machine timelines (internal/fleet)
 package figures
 
 import "fmt"
@@ -208,6 +209,11 @@ func Catalog() []Entry {
 			ID: "sealed", Title: "OpenSSH timeline under sealed key memory (encrypted at rest)",
 			Figures: []string{"§4 extension"},
 			Run:     timelineRunner(KindSSH, levelSealed),
+		},
+		{
+			ID: "fleet", Title: "Fleet-scale timelines: protection levels at 10k/100k/1M connections",
+			Figures: []string{"scale extension"},
+			Run:     func(c Config) (Rendered, error) { return FleetSweep(c) },
 		},
 	}
 }

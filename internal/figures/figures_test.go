@@ -15,8 +15,8 @@ func quick() Config {
 
 func TestCatalogIsComplete(t *testing.T) {
 	entries := Catalog()
-	if len(entries) != 25 {
-		t.Fatalf("catalog entries = %d, want 25", len(entries))
+	if len(entries) != 26 {
+		t.Fatalf("catalog entries = %d, want 26", len(entries))
 	}
 	seen := make(map[string]bool)
 	covered := make(map[string]bool)
@@ -449,6 +449,47 @@ func TestSwapSurfaceShape(t *testing.T) {
 		}
 	}
 	if !strings.Contains(res.Render(), "swap-device") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFleetSweepShape(t *testing.T) {
+	res, err := FleetSweep(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 levels × 2 sizes at quick scale (the 1M cell only runs at Scale 1).
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+	var none, sealed *FleetRow
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		if row.Arrivals == 0 || row.Completed == 0 {
+			t.Fatalf("%s/%d: empty timeline", row.Level, row.Target)
+		}
+		if row.Throughput <= 0 || row.LifeP95 < row.LifeP50 {
+			t.Fatalf("%s/%d: bad derived stats %+v", row.Level, row.Target, row)
+		}
+		if row.Target == 500 {
+			switch row.Level {
+			case protect.LevelNone:
+				none = row
+			case protect.LevelSealed:
+				sealed = row
+			}
+		}
+	}
+	// The paper's core result survives fleet scale: protection collapses
+	// the scanner-visible copy population.
+	if none.CopiesMean < 10 {
+		t.Fatalf("unprotected fleet shows %.1f mean copies", none.CopiesMean)
+	}
+	if sealed.CopiesMean*5 > none.CopiesMean {
+		t.Fatalf("sealed (%.1f) not well below unprotected (%.1f)",
+			sealed.CopiesMean, none.CopiesMean)
+	}
+	if !strings.Contains(res.Render(), "Fleet-scale") {
 		t.Fatal("render missing title")
 	}
 }

@@ -1,0 +1,322 @@
+package fleet
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"memshield/internal/protect"
+)
+
+// testConfig is a small, fast fleet: ~2k connections over 400 ticks on 4
+// machines, with scan windows on.
+func testConfig() Config {
+	cfg := Sized(2000, 4, 400, protect.LevelNone, 2007)
+	cfg.SampleEvery = 40
+	return cfg
+}
+
+// resultKey condenses everything replay-sensitive about a Result for
+// equality checks across shard/worker counts and engines.
+type resultKey struct {
+	Arrivals, Completed, Shed, Errors int64
+	PeakOpen, FinalOpen               int
+	Windows                           int64
+	Fingerprint                       uint64
+	CopiesCount                       int64
+	CopiesMean                        float64
+	OpenMean                          float64
+	Exposure                          float64
+	LifeSeen                          int64
+	LifeP50                           float64
+}
+
+func keyOf(r *Result) resultKey {
+	return resultKey{
+		Arrivals: r.Arrivals, Completed: r.Completed, Shed: r.Shed, Errors: r.Errors,
+		PeakOpen: r.PeakOpen, FinalOpen: r.FinalOpen, Windows: r.Windows,
+		Fingerprint: r.Fingerprint,
+		CopiesCount: r.Copies.Count(), CopiesMean: r.Copies.Mean(),
+		OpenMean: r.OpenGauge.Mean(), Exposure: r.Exposure,
+		LifeSeen: r.Lifetimes.Seen(), LifeP50: r.Lifetimes.Quantile(0.5),
+	}
+}
+
+// TestShardWorkerInvariance is the determinism contract: every
+// Shards × Workers combination — including one shard on one worker, the
+// sequential reference — produces byte-identical fingerprints, logs and
+// stats.
+func TestShardWorkerInvariance(t *testing.T) {
+	grid := []struct{ shards, workers int }{
+		{1, 1}, {4, 1}, {1, 4}, {4, 4}, {2, 4}, {runtime.NumCPU(), 4},
+	}
+	var ref *Result
+	for _, g := range grid {
+		cfg := testConfig()
+		cfg.KeepLogs = true
+		cfg.Shards = g.shards
+		cfg.Workers = g.workers
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d workers=%d: %v", g.shards, g.workers, err)
+		}
+		if ref == nil {
+			ref = res
+			if res.Arrivals == 0 || res.Completed == 0 {
+				t.Fatalf("degenerate run: %+v", keyOf(res))
+			}
+			continue
+		}
+		if keyOf(res) != keyOf(ref) {
+			t.Errorf("shards=%d workers=%d diverged:\n got %+v\nwant %+v",
+				g.shards, g.workers, keyOf(res), keyOf(ref))
+		}
+		if !reflect.DeepEqual(res.Log, ref.Log) {
+			t.Errorf("shards=%d workers=%d: event log diverged", g.shards, g.workers)
+		}
+	}
+}
+
+// TestEventLoopPopulationIdentical pins the engine-comparison contract:
+// the event engine and the legacy per-tick loop baseline replay the
+// identical connection population (same fingerprint, arrivals, closes,
+// sheds) from the same seeds — only the transfer mechanics differ.
+func TestEventLoopPopulationIdentical(t *testing.T) {
+	cfg := testConfig()
+	cfg.Horizon = 150
+	ev, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := RunLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Fingerprint != lp.Fingerprint {
+		t.Fatalf("population fingerprints diverged: event %x vs loop %x",
+			ev.Fingerprint, lp.Fingerprint)
+	}
+	if ev.Arrivals != lp.Arrivals || ev.Completed != lp.Completed || ev.Shed != lp.Shed {
+		t.Fatalf("population counts diverged: event %d/%d/%d vs loop %d/%d/%d",
+			ev.Arrivals, ev.Completed, ev.Shed, lp.Arrivals, lp.Completed, lp.Shed)
+	}
+	if ev.Errors != 0 || lp.Errors != 0 {
+		t.Fatalf("healthy engines hit errors: event %d, loop %d", ev.Errors, lp.Errors)
+	}
+	if ev.Churns == 0 || ev.Recycles != 0 {
+		t.Errorf("event engine: churns=%d recycles=%d, want scheduled churns only",
+			ev.Churns, ev.Recycles)
+	}
+	if lp.Recycles == 0 || lp.Churns != 0 {
+		t.Errorf("loop baseline: churns=%d recycles=%d, want per-tick recycles only",
+			lp.Churns, lp.Recycles)
+	}
+}
+
+// TestSeedReplayGolden10k pins one 10k-connection fleet timeline: the
+// fingerprint and population counts below were produced by this config at
+// seed 2007 and must never change silently — they are the seed-replay
+// golden for the fleet engine, like the fig5/fig15 goldens for the
+// single-machine timelines.
+func TestSeedReplayGolden10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-connection timeline in -short mode")
+	}
+	cfg := Sized(10_000, 4, 1000, protect.LevelNone, 2007)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		wantFingerprint = uint64(0x52f453f82365576d)
+		wantArrivals    = int64(10122)
+		wantCompleted   = int64(9762)
+	)
+	if res.Fingerprint != wantFingerprint {
+		t.Errorf("fingerprint = %x, want %x", res.Fingerprint, wantFingerprint)
+	}
+	if res.Arrivals != wantArrivals || res.Completed != wantCompleted {
+		t.Errorf("population = %d arrived / %d completed, want %d / %d",
+			res.Arrivals, res.Completed, wantArrivals, wantCompleted)
+	}
+	if res.Shed != 0 || res.Errors != 0 {
+		t.Errorf("golden run shed %d / errored %d, want clean", res.Shed, res.Errors)
+	}
+}
+
+// TestFingerprintMatchesKeptLog: the rolling fingerprint is exactly the
+// chain over the kept event log — grouping records by machine, chaining
+// each machine, then chaining the machine fingerprints in order.
+func TestFingerprintMatchesKeptLog(t *testing.T) {
+	cfg := testConfig()
+	cfg.Horizon = 120
+	cfg.KeepLogs = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Log) == 0 {
+		t.Fatal("KeepLogs run returned no log")
+	}
+	perMachine := make([][]EventRecord, cfg.Machines)
+	for _, e := range res.Log {
+		perMachine[e.Machine] = append(perMachine[e.Machine], e)
+	}
+	var fp uint64
+	for _, log := range perMachine {
+		fp = chainMachine(fp, FingerprintOf(log))
+	}
+	if fp != res.Fingerprint {
+		t.Fatalf("recomputed fingerprint %x != reported %x", fp, res.Fingerprint)
+	}
+}
+
+// TestSizedHitsTarget: Sized configs land the seeded Poisson arrival
+// count within a few percent of the requested total.
+func TestSizedHitsTarget(t *testing.T) {
+	cfg := Sized(2000, 4, 400, protect.LevelNone, 2007)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := int64(2000*85/100), int64(2000*115/100)
+	if res.Arrivals < lo || res.Arrivals > hi {
+		t.Errorf("arrivals = %d, want within 15%% of 2000", res.Arrivals)
+	}
+}
+
+// TestShedsAtCapDeterministically: past MaxOpen arrivals shed instead of
+// failing, and the shed pattern replays exactly.
+func TestShedsAtCapDeterministically(t *testing.T) {
+	cfg := testConfig()
+	cfg.Horizon = 150
+	cfg.MaxOpen = 4
+	cfg.MemPages = 2048
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Shed == 0 {
+		t.Fatal("cap of 4 never shed")
+	}
+	if a.Errors != 0 {
+		t.Fatalf("shedding run hit %d errors", a.Errors)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint || a.Shed != b.Shed {
+		t.Fatalf("shed replay diverged: %x/%d vs %x/%d",
+			a.Fingerprint, a.Shed, b.Fingerprint, b.Shed)
+	}
+}
+
+// TestAllLevelsAndKinds: every protection level and both server kinds
+// complete a small fleet cleanly.
+func TestAllLevelsAndKinds(t *testing.T) {
+	for _, level := range protect.All() {
+		cfg := Sized(300, 2, 150, level, 11)
+		cfg.SampleEvery = 30
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", level, err)
+		}
+		if res.Errors != 0 {
+			t.Errorf("%s: %d errors in a healthy run", level, res.Errors)
+		}
+		if res.Windows == 0 || res.Copies.Count() == 0 {
+			t.Errorf("%s: no scan windows folded", level)
+		}
+	}
+	cfg := Sized(300, 2, 150, protect.LevelIntegrated, 12)
+	cfg.Kind = KindHTTPD
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("httpd: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("httpd: %d errors", res.Errors)
+	}
+}
+
+// TestProtectionReducesCopies: the fleet-scale experiment reproduces the
+// paper's core result — scanner-visible key copies collapse from the
+// unprotected level to the integrated one.
+func TestProtectionReducesCopies(t *testing.T) {
+	run := func(level protect.Level) float64 {
+		cfg := Sized(400, 2, 200, level, 2007)
+		cfg.SampleEvery = 25
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", level, err)
+		}
+		return res.Copies.Mean()
+	}
+	none := run(protect.LevelNone)
+	integrated := run(protect.LevelIntegrated)
+	if none < 10 {
+		t.Fatalf("unprotected fleet shows %.1f mean copies, expected plenty", none)
+	}
+	if integrated*5 > none {
+		t.Errorf("integrated (%.1f) is not well below unprotected (%.1f)", integrated, none)
+	}
+}
+
+// TestHeapOrdersByTickThenSeq covers the scheduler directly: pops come
+// out tick-ordered, schedule-ordered within a tick, and the empty heap
+// reports rather than panics.
+func TestHeapOrdersByTickThenSeq(t *testing.T) {
+	var h eventHeap
+	if _, ok := h.pop(); ok {
+		t.Fatal("empty heap popped something")
+	}
+	if _, ok := h.peek(); ok {
+		t.Fatal("empty heap peeked something")
+	}
+	ticks := []uint64{9, 3, 7, 3, 1, 9, 3}
+	for i, tick := range ticks {
+		h.push(event{tick: tick, slot: int32(i)})
+	}
+	var gotTicks []uint64
+	var orderWithin3 []int32
+	for h.size() > 0 {
+		e, ok := h.pop()
+		if !ok {
+			t.Fatal("pop failed with events pending")
+		}
+		gotTicks = append(gotTicks, e.tick)
+		if e.tick == 3 {
+			orderWithin3 = append(orderWithin3, e.slot)
+		}
+	}
+	want := []uint64{1, 3, 3, 3, 7, 9, 9}
+	if !reflect.DeepEqual(gotTicks, want) {
+		t.Fatalf("pop order %v, want %v", gotTicks, want)
+	}
+	// Slots 1, 3, 6 were scheduled at tick 3 in that order.
+	if !reflect.DeepEqual(orderWithin3, []int32{1, 3, 6}) {
+		t.Fatalf("same-tick order %v, want schedule order [1 3 6]", orderWithin3)
+	}
+}
+
+// TestShardRangePartition: every machine lands in exactly one shard.
+func TestShardRangePartition(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{{7, 3}, {4, 4}, {10, 1}, {5, 4}} {
+		covered := make([]bool, tc.n)
+		for s := 0; s < tc.shards; s++ {
+			lo, hi := shardRange(tc.n, tc.shards, s)
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Fatalf("n=%d shards=%d: machine %d in two shards", tc.n, tc.shards, i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, ok := range covered {
+			if !ok {
+				t.Fatalf("n=%d shards=%d: machine %d unassigned", tc.n, tc.shards, i)
+			}
+		}
+	}
+}

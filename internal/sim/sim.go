@@ -238,7 +238,11 @@ func Run(cfg Config) (*Result, error) {
 	// makes each sample cost O(pages dirtied since the last tick), not
 	// O(memory) (DESIGN.md §9).
 	sc := scan.NewWith(k, scan.PatternsFor(key), scan.Options{Workers: cfg.ScanWorkers})
-	res := &Result{Config: cfg, Key: key, MemPages: cfg.MemPages}
+	// The tick count is known up front: preallocate the sample slice so the
+	// driver loop never regrows it (fleet runs avoid the append entirely —
+	// internal/fleet aggregates into mergeable streams instead).
+	res := &Result{Config: cfg, Key: key, MemPages: cfg.MemPages,
+		Samples: make([]TickSample, 0, cfg.Schedule.End+1)}
 
 	var srv serverHandle
 	var sup *supervise.Supervisor

@@ -1,0 +1,203 @@
+// Streaming, mergeable aggregation primitives for the fleet engine
+// (internal/fleet): a million-connection timeline cannot afford the
+// per-sample appends the figure experiments use (sim.Result.Samples grows
+// O(ticks × matches)), so fleet runs fold every observation into
+// fixed-size state the moment it happens and merge per-machine state in
+// machine order at the end. Both types obey the ordered-commit determinism
+// contract (DESIGN.md §7): Add and Merge are pure functions of their
+// inputs and internal seeds — no wall clock, no global RNG — so a fleet
+// result is byte-identical at any shard/worker count as long as merges
+// happen in machine order (which internal/runner's ordered commit
+// guarantees).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Stream accumulates streaming moments (count, mean, variance, min, max)
+// in O(1) memory using Welford's algorithm, with the Chan et al. parallel
+// combination rule for Merge. The zero value is an empty stream.
+type Stream struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the stream.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.mean, s.min, s.max = x, x, x
+		s.m2 = 0
+		return
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+}
+
+// Merge folds another stream into this one (Chan et al. pairwise update).
+// Merging is associative up to floating-point rounding; callers that need
+// byte-identical results at any parallelism must merge in a fixed order
+// (the fleet engine merges machine 0..N-1).
+func (s *Stream) Merge(o Stream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
+// Count returns the number of observations.
+func (s Stream) Count() int64 { return s.n }
+
+// Mean returns the running mean (0 for an empty stream).
+func (s Stream) Mean() float64 { return s.mean }
+
+// StreamMin returns the minimum observation (0 for an empty stream).
+func (s Stream) StreamMin() float64 { return s.min }
+
+// StreamMax returns the maximum observation (0 for an empty stream).
+func (s Stream) StreamMax() float64 { return s.max }
+
+// Variance returns the population variance (0 with fewer than 2 samples).
+func (s Stream) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// Std returns the population standard deviation.
+func (s Stream) Std() float64 { return math.Sqrt(s.Variance()) }
+
+// Reservoir is a fixed-capacity uniform sample of a stream (Vitter's
+// algorithm R) whose randomness comes from its own splitmix64 state, never
+// the global RNG: the same seed and observation sequence always select
+// the same sample. Merge combines two reservoirs into a weighted
+// approximation of a reservoir over the union — each output slot draws
+// from one side with probability proportional to its observation count.
+// The merge is deterministic (both states are folded together) but
+// approximate; the fleet uses it for quantile estimates of per-connection
+// metrics, where a sketch is the point.
+type Reservoir struct {
+	cap   int
+	seen  int64
+	state uint64
+	vals  []float64
+}
+
+// NewReservoir returns an empty reservoir of the given capacity (minimum
+// 1) drawing its replacement decisions from the seed.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reservoir{cap: capacity, state: uint64(DeriveSeed(seed, int64(capacity)))}
+}
+
+// next steps the reservoir's private splitmix64 stream.
+func (r *Reservoir) next() uint64 {
+	r.state += golden
+	return mix64(r.state)
+}
+
+// Add offers one observation to the sample.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.vals) < r.cap {
+		r.vals = append(r.vals, x)
+		return
+	}
+	if j := r.next() % uint64(r.seen); j < uint64(r.cap) {
+		r.vals[j] = x
+	}
+}
+
+// Seen returns how many observations were offered.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Merge folds another reservoir into this one: each retained slot is drawn
+// from this or the other sample with probability proportional to the two
+// observation counts, consuming each side's values in order. The other
+// reservoir is left untouched.
+func (r *Reservoir) Merge(o *Reservoir) {
+	if o == nil || o.seen == 0 {
+		return
+	}
+	if r.seen == 0 {
+		r.seen = o.seen
+		r.state = mix64(r.state ^ mix64(o.state))
+		r.vals = append(r.vals[:0], o.vals...)
+		if len(r.vals) > r.cap {
+			r.vals = r.vals[:r.cap]
+		}
+		return
+	}
+	// Fold the other stream's state in so merged reservoirs never replay
+	// this one's decision stream.
+	r.state = mix64(r.state ^ mix64(o.state))
+	total := uint64(r.seen + o.seen)
+	mine := append([]float64(nil), r.vals...)
+	out := r.vals[:0]
+	mi, oi := 0, 0
+	for len(out) < r.cap && (mi < len(mine) || oi < len(o.vals)) {
+		takeMine := oi >= len(o.vals) ||
+			(mi < len(mine) && r.next()%total < uint64(r.seen))
+		if takeMine {
+			out = append(out, mine[mi])
+			mi++
+		} else {
+			out = append(out, o.vals[oi])
+			oi++
+		}
+	}
+	r.vals = out
+	r.seen += o.seen
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the retained sample
+// by linear interpolation; 0 for an empty reservoir.
+func (r *Reservoir) Quantile(q float64) float64 {
+	if len(r.vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), r.vals...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

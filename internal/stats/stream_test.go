@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamMoments(t *testing.T) {
+	var s Stream
+	xs := []float64{4, 7, 13, 16}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if got, want := s.Mean(), Mean(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	if got, want := s.Std(), StdDev(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("std = %v, want %v", got, want)
+	}
+	if s.StreamMin() != 4 || s.StreamMax() != 16 {
+		t.Errorf("min/max = %v/%v", s.StreamMin(), s.StreamMax())
+	}
+}
+
+// TestStreamMergeMatchesSequential: merging per-shard streams in order
+// reproduces the moments of one sequential stream over the same data.
+func TestStreamMergeMatchesSequential(t *testing.T) {
+	rng := NewRand(7)
+	var all []float64
+	for i := 0; i < 1000; i++ {
+		all = append(all, rng.NormFloat64()*3+10)
+	}
+	var seq Stream
+	for _, x := range all {
+		seq.Add(x)
+	}
+	var merged Stream
+	for shard := 0; shard < 4; shard++ {
+		var part Stream
+		for i := shard; i < len(all); i += 4 {
+			part.Add(all[i])
+		}
+		merged.Merge(part)
+	}
+	if merged.Count() != seq.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), seq.Count())
+	}
+	if math.Abs(merged.Mean()-seq.Mean()) > 1e-9 {
+		t.Errorf("mean %v != %v", merged.Mean(), seq.Mean())
+	}
+	if math.Abs(merged.Std()-seq.Std()) > 1e-9 {
+		t.Errorf("std %v != %v", merged.Std(), seq.Std())
+	}
+	if merged.StreamMin() != seq.StreamMin() || merged.StreamMax() != seq.StreamMax() {
+		t.Errorf("min/max mismatch")
+	}
+}
+
+func TestStreamMergeEmptySides(t *testing.T) {
+	var a, b Stream
+	b.Add(5)
+	a.Merge(b) // into empty
+	if a.Count() != 1 || a.Mean() != 5 {
+		t.Fatalf("merge into empty: %+v", a)
+	}
+	a.Merge(Stream{}) // empty other is a no-op
+	if a.Count() != 1 {
+		t.Fatalf("merge of empty changed count")
+	}
+}
+
+func TestReservoirDeterminism(t *testing.T) {
+	run := func() []float64 {
+		r := NewReservoir(16, 42)
+		for i := 0; i < 10000; i++ {
+			r.Add(float64(i))
+		}
+		out := append([]float64(nil), r.vals...)
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at slot %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReservoirQuantile(t *testing.T) {
+	r := NewReservoir(256, 1)
+	for i := 0; i < 10000; i++ {
+		r.Add(float64(i))
+	}
+	if r.Seen() != 10000 {
+		t.Fatalf("seen = %d", r.Seen())
+	}
+	med := r.Quantile(0.5)
+	if med < 3000 || med > 7000 {
+		t.Errorf("median estimate %v implausible for U[0,10000)", med)
+	}
+	if r.Quantile(0) > r.Quantile(1) {
+		t.Errorf("quantiles not ordered")
+	}
+}
+
+// TestReservoirMergeDeterministic: the same pair of reservoirs merges to
+// the same sample every time, and the merged counts add up.
+func TestReservoirMergeDeterministic(t *testing.T) {
+	build := func() (*Reservoir, *Reservoir) {
+		a, b := NewReservoir(32, 5), NewReservoir(32, 6)
+		for i := 0; i < 500; i++ {
+			a.Add(float64(i))
+		}
+		for i := 0; i < 1500; i++ {
+			b.Add(float64(10000 + i))
+		}
+		return a, b
+	}
+	a1, b1 := build()
+	a2, b2 := build()
+	a1.Merge(b1)
+	a2.Merge(b2)
+	if a1.Seen() != 2000 {
+		t.Fatalf("merged seen = %d", a1.Seen())
+	}
+	if len(a1.vals) != 32 {
+		t.Fatalf("merged sample size = %d", len(a1.vals))
+	}
+	for i := range a1.vals {
+		if a1.vals[i] != a2.vals[i] {
+			t.Fatalf("merge replay diverged at %d", i)
+		}
+	}
+	// The heavier side should dominate the merged sample roughly 3:1.
+	heavy := 0
+	for _, v := range a1.vals {
+		if v >= 10000 {
+			heavy++
+		}
+	}
+	if heavy < 16 {
+		t.Errorf("heavy side holds %d/32 slots, want majority", heavy)
+	}
+}
+
+func TestReservoirMergeIntoEmpty(t *testing.T) {
+	a, b := NewReservoir(8, 1), NewReservoir(8, 2)
+	for i := 0; i < 100; i++ {
+		b.Add(float64(i))
+	}
+	a.Merge(b)
+	if a.Seen() != 100 || len(a.vals) != 8 {
+		t.Fatalf("merge into empty: seen=%d len=%d", a.Seen(), len(a.vals))
+	}
+	a.Merge(NewReservoir(8, 3)) // empty other: no-op
+	if a.Seen() != 100 {
+		t.Fatalf("empty merge changed seen")
+	}
+}

@@ -52,6 +52,12 @@ var (
 	ErrNotStarted = errors.New("supervise: server not started")
 	// ErrUnknownKind marks a Config naming no known server kind.
 	ErrUnknownKind = errors.New("supervise: unknown server kind")
+	// ErrParked marks a supervisor waiting for a re-provision grant: the
+	// sealed key was destroyed fail-closed and the ReprovisionGate refused
+	// to spend anchor material yet. The dead generation is stopped, the
+	// degradation window stays open, and ResumeReprovision continues the
+	// recovery once the fleet scheduler grants it.
+	ErrParked = errors.New("supervise: reprovision parked awaiting grant")
 )
 
 // Op names one supervised operation category; budgets and backoff
@@ -233,6 +239,17 @@ type Config struct {
 	// OnEvent, when set, receives each recovery event synchronously (the
 	// soak harness builds its log from this).
 	OnEvent func(Event)
+	// ReprovisionGate, when set, is consulted before a sealed-key
+	// re-provision spends anchor material. Returning false parks the
+	// supervisor instead of recovering: the dead generation is stopped,
+	// Parked() reports the pending cause, and the recovery continues only
+	// when ResumeReprovision is called (which bypasses the gate). A fleet
+	// scheduler uses this to arbitrate a shared re-provision budget across
+	// machines in a deterministic order (internal/fleet); nil grants
+	// every re-provision immediately, exactly as before the gate existed.
+	// The gate must be a pure function of state owned by the machine's
+	// driving goroutine — it runs inside the supervisor's retry loop.
+	ReprovisionGate func() bool
 }
 
 // Server is the supervisor's view of a running server.
@@ -279,6 +296,7 @@ type Supervisor struct {
 	epoch      int64
 	counters   Counters
 	failed     error
+	parked     error
 	stopped    bool
 }
 
@@ -401,7 +419,7 @@ func (s *Supervisor) retry(op Op, fn func() error) error {
 		}
 		switch Classify(err) {
 		case ClassReprovision:
-			if rerr := s.reprovision(err); rerr != nil {
+			if rerr := s.reprovision(err, false); rerr != nil {
 				return rerr
 			}
 		case ClassTransient:
@@ -427,7 +445,12 @@ func (s *Supervisor) retry(op Op, fn func() error) error {
 // generation seals before serving. Any failure along the way is terminal
 // for the supervisor — the run ends refused (or still-degraded), never
 // over-claiming.
-func (s *Supervisor) reprovision(cause error) error {
+//
+// granted marks a resume that already holds a gate grant; a fresh
+// failure (granted=false) consults cfg.ReprovisionGate after the
+// permanent checks and parks instead of recovering when the gate
+// declines.
+func (s *Supervisor) reprovision(cause error, granted bool) error {
 	if s.cfg.Anchor == nil {
 		// No escrow: the destroy is permanent, exactly as without
 		// supervision. The server's own paths already degraded the status.
@@ -437,6 +460,21 @@ func (s *Supervisor) reprovision(cause error) error {
 		s.counters.Exhaustions++
 		s.emit(Event{Kind: "exhausted", Op: OpReprovision, Attempt: s.counters.Reprovisions, Detail: cause.Error()})
 		return fmt.Errorf("%w: %s budget (%d) spent: %w", ErrRetriesExhausted, OpReprovision, s.policy.budget(OpReprovision), cause)
+	}
+	if !granted && s.cfg.ReprovisionGate != nil && !s.cfg.ReprovisionGate() {
+		// Park: stop the dead generation (its sealed region is already
+		// scrubbed) and wait for ResumeReprovision. The degradation window
+		// opened by the fail-closed destroy stays open — a parked machine
+		// never claims protection it lost.
+		if s.srv != nil && s.srv.Running() {
+			if err := s.srv.Stop(); err != nil {
+				s.emit(Event{Kind: "teardown", Op: OpReprovision, Attempt: int(s.epoch) + 1, Detail: err.Error()})
+			}
+		}
+		s.srv = nil
+		s.parked = cause
+		s.emit(Event{Kind: "parked", Op: OpReprovision, Attempt: int(s.epoch) + 1, Detail: cause.Error()})
+		return fmt.Errorf("%w: %v", ErrParked, cause)
 	}
 	s.emit(Event{Kind: "reprovision", Op: OpReprovision, Attempt: int(s.epoch) + 1, Detail: cause.Error()})
 	// Tear the dead generation down. Its sealed region is already
@@ -491,11 +529,31 @@ func (s *Supervisor) ready() error {
 	switch {
 	case s.failed != nil:
 		return s.failed
+	case s.parked != nil:
+		return fmt.Errorf("%w: %v", ErrParked, s.parked)
 	case s.srv == nil:
 		return ErrNotStarted
 	default:
 		return nil
 	}
+}
+
+// Parked returns the failure a parked supervisor is waiting to recover
+// from, or nil when not parked.
+func (s *Supervisor) Parked() error { return s.parked }
+
+// ResumeReprovision continues a parked recovery with a grant in hand,
+// bypassing the gate: the caller (a fleet scheduler arbitrating a shared
+// budget) decides when the anchor material is spent. A no-op when not
+// parked. On success the supervisor serves again under a new epoch; on
+// failure it is dead, exactly as an ungated re-provision failure.
+func (s *Supervisor) ResumeReprovision() error {
+	if s.parked == nil {
+		return nil
+	}
+	cause := s.parked
+	s.parked = nil
+	return s.reprovision(cause, true)
 }
 
 // Connect accepts one connection under the retry policy and returns its

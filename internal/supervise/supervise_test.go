@@ -458,3 +458,96 @@ func TestSupervisorDeterminism(t *testing.T) {
 		t.Error("determinism scenario never retried; raise the fault odds")
 	}
 }
+
+// TestReprovisionGateParksAndResumes scripts the fleet arbitration flow:
+// a fail-closed destroy under a denying gate parks the supervisor (dead
+// generation stopped, degradation window open, steady-state ops refused
+// with ErrParked), and ResumeReprovision later completes the recovery
+// exactly as an ungated re-provision — new epoch, closed window, sealed
+// claim restored.
+func TestReprovisionGateParksAndResumes(t *testing.T) {
+	plan := &fault.Plan{Seed: 7, Rules: map[fault.Site]fault.Rule{
+		fault.SiteSeal: {Nth: []uint64{1}},
+	}}
+	k, key, anchor, slot := testRig(t, protect.LevelSealed, plan)
+	var events []Event
+	granted := false
+	sup := New(k, Config{
+		Kind: KindSSHD, KeyPath: testKeyPath, Level: protect.LevelSealed,
+		Seed: stats.DeriveSeed(7, 3), Policy: DefaultPolicy(11),
+		Anchor: anchor, AnchorSlot: slot,
+		OnEvent:         func(e Event) { events = append(events, e) },
+		ReprovisionGate: func() bool { return granted },
+	})
+	if err := sup.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if _, err := sup.Connect(); !errors.Is(err, ErrParked) {
+		t.Fatalf("connect under a denying gate should park, got %v", err)
+	}
+	if sup.Parked() == nil {
+		t.Fatal("Parked() should report the pending cause")
+	}
+	if sup.Running() {
+		t.Fatal("a parked supervisor must not report a running server")
+	}
+	if sup.Failed() != nil {
+		t.Fatalf("parking is not death: Failed() = %v", sup.Failed())
+	}
+	if _, err := sup.Connect(); !errors.Is(err, ErrParked) {
+		t.Fatalf("steady-state ops while parked must refuse with ErrParked, got %v", err)
+	}
+	if sup.Counters().Reprovisions != 0 {
+		t.Fatal("parking must not spend the re-provision budget")
+	}
+	if _, ok := sup.Status().Degraded(protect.GuaranteeSealedAtRest); !ok {
+		t.Fatal("the degradation window must stay open while parked")
+	}
+	// The fleet scheduler grants: the recovery completes from the anchor.
+	granted = true
+	if err := sup.ResumeReprovision(); err != nil {
+		t.Fatalf("resume with a grant: %v", err)
+	}
+	if sup.Parked() != nil {
+		t.Fatal("resume should clear the parked state")
+	}
+	if !sup.Running() || sup.Epoch() != 1 {
+		t.Fatalf("resumed supervisor running=%v epoch=%d, want serving under epoch 1", sup.Running(), sup.Epoch())
+	}
+	if sup.Counters().Reprovisions != 1 {
+		t.Fatalf("counters = %+v, want one reprovision", sup.Counters())
+	}
+	if err := sup.ResumeReprovision(); err != nil {
+		t.Fatalf("resume when not parked must be a no-op, got %v", err)
+	}
+	id, err := sup.Connect()
+	if err != nil {
+		t.Fatalf("connect after resume: %v", err)
+	}
+	if err := sup.Churn(id, 4096); err != nil {
+		t.Fatalf("churn after resume: %v", err)
+	}
+	if eff := sup.Status().Effective(); eff != protect.LevelSealed {
+		t.Fatalf("effective %s, want sealed after resumed re-provision", eff)
+	}
+	if ws := sup.Status().Windows(); len(ws) != 1 {
+		t.Fatalf("windows = %+v, want the outage recorded as one closed window", ws)
+	}
+	if rep := core.NewWithStatus(k, sup.Status()).AuditEffective(scan.PatternsFor(key)); !rep.OK() {
+		t.Fatalf("audit after resumed re-provision: %v", rep.Violations)
+	}
+	var kinds []string
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []string{"parked", "reprovision", "restarted", "reprovisioned"}
+	found := 0
+	for _, k := range kinds {
+		if found < len(want) && k == want[found] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("event stream %v missing the park/resume sequence %v", kinds, want)
+	}
+}

@@ -286,7 +286,13 @@ func RunApacheBench(cfg ApacheBenchConfig) (PerfResult, error) {
 	opsBefore := k.Alloc().Stats().Allocs + k.Alloc().Stats().Frees
 
 	bytesMoved := 0
-	open := make([]int, 0, cfg.Concurrency)
+	// In-flight connection IDs live in a fixed ring: the old slice version
+	// (`open = open[1:]` after each retire) kept the original backing array
+	// reachable for the whole run, pinning one stale ID slot per retired
+	// transaction — a 4000-transaction run leaked a 4000-entry array to
+	// retire ~20. The ring reuses Concurrency slots forever.
+	ring := make([]int, cfg.Concurrency)
+	head, count := 0, 0
 	for i := 0; i < cfg.Transactions; i++ {
 		id, err := s.Connect()
 		if err != nil {
@@ -296,13 +302,15 @@ func RunApacheBench(cfg ApacheBenchConfig) (PerfResult, error) {
 			return PerfResult{}, fmt.Errorf("workload: txn %d: %w", i, err)
 		}
 		bytesMoved += cfg.ResponseBytes
-		open = append(open, id)
+		ring[(head+count)%len(ring)] = id
+		count++
 		// Keep Concurrency connections in flight; retire the oldest.
-		if len(open) >= cfg.Concurrency {
-			if err := s.Disconnect(open[0]); err != nil {
+		if count >= cfg.Concurrency {
+			if err := s.Disconnect(ring[head]); err != nil {
 				return PerfResult{}, fmt.Errorf("workload: %w", err)
 			}
-			open = open[1:]
+			head = (head + 1) % len(ring)
+			count--
 		}
 		if i%100 == 99 {
 			k.Tick()
@@ -311,8 +319,8 @@ func RunApacheBench(cfg ApacheBenchConfig) (PerfResult, error) {
 			}
 		}
 	}
-	for _, id := range open {
-		if err := s.Disconnect(id); err != nil {
+	for i := 0; i < count; i++ {
+		if err := s.Disconnect(ring[(head+i)%len(ring)]); err != nil {
 			return PerfResult{}, fmt.Errorf("workload: %w", err)
 		}
 	}
